@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -exp table1          # Table I: accuracy grid
+//	experiments -exp table2          # Table II: power and energy
+//	experiments -exp fig3            # Fig 3: neurons/core trade-off
+//	experiments -exp fig4            # Fig 4: incremental online learning
+//	experiments -exp all -scale full # everything at full scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"emstdp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3, fig4, ablations, adaptation or all")
+	scale := flag.String("scale", "quick", "run scale: quick or full")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("== %s (scale=%s, seed=%d) ==\n", name, *scale, *seed)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %s --\n\n", name, time.Since(start).Round(time.Second))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("table1", func() error {
+			rows, err := experiments.Table1(sc, *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable1(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("table2") {
+		run("table2", func() error {
+			rows, err := experiments.Table2(sc, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable2(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig3") {
+		run("fig3", func() error {
+			points, err := experiments.Fig3(sc, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig3(os.Stdout, points)
+			return nil
+		})
+	}
+	if want("fig4") {
+		run("fig4", func() error {
+			res, err := experiments.Fig4(sc, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig4(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("adaptation") {
+		run("adaptation", func() error {
+			res, err := experiments.Adaptation(sc, 25, *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAdaptation(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("ablations") {
+		run("ablations", func() error {
+			results, err := experiments.Ablations(sc, *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAblations(os.Stdout, results)
+			return nil
+		})
+	}
+	if *exp != "all" && !want("table1") && !want("table2") && !want("fig3") && !want("fig4") && !want("ablations") && !want("adaptation") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

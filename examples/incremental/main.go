@@ -1,0 +1,51 @@
+// Incremental online learning (§IV-B): a deployed model that knows four
+// digit classes learns three batches of two new classes from a stream,
+// using the paper's two-step protocol (learn-new with old outputs
+// disabled and reduced LR, then mixed replay).
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"emstdp/internal/core"
+	"emstdp/internal/dataset"
+	"emstdp/internal/incremental"
+)
+
+func main() {
+	m, err := core.Build(core.Options{
+		Dataset:      dataset.MNIST,
+		Backend:      core.FP,
+		TrainSamples: 800,
+		TestSamples:  300,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := incremental.DefaultConfig(42)
+	results, err := incremental.Run(m, m.TrainFeatures(), m.TestFeatures(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("accuracy over observed classes (o = after learn-new, * = after replay):")
+	for _, r := range results {
+		bar := strings.Repeat("#", int(r.AfterStep2*40))
+		mark := "  "
+		if r.NewClassesIntroduced {
+			mark = "+2"
+		}
+		fmt.Printf("round %2d %s |%-40s| step1 %5.1f%%  step2 %5.1f%%  (%d classes)\n",
+			r.Round, mark, bar, r.AfterStep1*100, r.AfterStep2*100, len(r.Observed))
+	}
+
+	final := results[len(results)-1]
+	fmt.Printf("\nfinal: %.1f%% over all %d classes, learned incrementally without\n",
+		final.AfterStep2*100, len(final.Observed))
+	fmt.Println("ever retraining from scratch — the adaptability argument of §IV-B.")
+}

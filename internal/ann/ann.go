@@ -1,0 +1,300 @@
+// Package ann implements a small conventional (non-spiking) neural network
+// with backpropagation. Its single job in this reproduction is the paper's
+// offline stage: "the convolutional layers are pretrained offline with
+// their respective datasets before mapping on to Loihi" (§IV-A). The conv
+// stack trained here is frozen, quantized and mapped onto the chip as
+// fixed synapses; only the dense layers learn on-chip via EMSTDP.
+//
+// ReLU is used everywhere because the spiking conversion maps ReLU
+// activations to firing rates: an IF neuron's rate over a phase is a
+// floor-quantized, non-negative linear function of its input drive (paper
+// eq 2), i.e. exactly a shifted ReLU.
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// Layer is one differentiable layer.
+type Layer interface {
+	// Forward computes the layer output for input x, caching whatever the
+	// backward pass needs.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dL/dOutput and returns dL/dInput, accumulating
+	// parameter gradients internally.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Step applies accumulated gradients with learning rate lr and clears
+	// them.
+	Step(lr float64)
+	// OutSize returns the flattened output element count.
+	OutSize() int
+}
+
+// Conv2D is a strided 2-D convolution layer with bias, implemented by
+// im2col lowering. Weights have shape F × (C·KH·KW).
+type Conv2D struct {
+	InC, InH, InW       int
+	Filters             int
+	KH, KW, Stride, Pad int
+	OutH, OutW          int
+
+	W  *tensor.Tensor // F × C*KH*KW
+	B  []float64
+	dW *tensor.Tensor
+	dB []float64
+
+	lastCols *tensor.Tensor // cached im2col of the last input
+}
+
+// NewConv2D constructs a conv layer with He-initialised weights.
+func NewConv2D(r *rng.Source, inC, inH, inW, filters, kh, kw, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		Filters: filters, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		OutH: tensor.ConvShape(inH, kh, stride, pad),
+		OutW: tensor.ConvShape(inW, kw, stride, pad),
+	}
+	fanIn := inC * kh * kw
+	c.W = tensor.New(filters, fanIn)
+	r.FillNorm(c.W.Data, 0, math.Sqrt(2/float64(fanIn)))
+	c.B = make([]float64, filters)
+	c.dW = tensor.New(filters, fanIn)
+	c.dB = make([]float64, filters)
+	return c
+}
+
+// OutSize returns Filters·OutH·OutW.
+func (c *Conv2D) OutSize() int { return c.Filters * c.OutH * c.OutW }
+
+// Forward computes the convolution of x (C×H×W).
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.lastCols = tensor.Im2Col(x, c.InC, c.InH, c.InW, c.KH, c.KW, c.Stride, c.Pad)
+	fanIn := c.InC * c.KH * c.KW
+	cols := c.OutH * c.OutW
+	out := tensor.MatMul(c.W, c.lastCols, c.Filters, fanIn, cols)
+	for f := 0; f < c.Filters; f++ {
+		b := c.B[f]
+		row := out.Data[f*cols : (f+1)*cols]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return out.Reshape(c.Filters, c.OutH, c.OutW)
+}
+
+// Backward computes input gradients and accumulates dW, dB.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	fanIn := c.InC * c.KH * c.KW
+	cols := c.OutH * c.OutW
+	g := grad.Reshape(c.Filters, cols)
+
+	// dW += g · colsᵀ
+	for f := 0; f < c.Filters; f++ {
+		gRow := g.Data[f*cols : (f+1)*cols]
+		dwRow := c.dW.Data[f*fanIn : (f+1)*fanIn]
+		for k := 0; k < fanIn; k++ {
+			colRow := c.lastCols.Data[k*cols : (k+1)*cols]
+			s := 0.0
+			for i, gv := range gRow {
+				s += gv * colRow[i]
+			}
+			dwRow[k] += s
+		}
+		sb := 0.0
+		for _, gv := range gRow {
+			sb += gv
+		}
+		c.dB[f] += sb
+	}
+
+	// dX = col2im(Wᵀ · g)
+	wt := tensor.New(fanIn, c.Filters)
+	for f := 0; f < c.Filters; f++ {
+		for k := 0; k < fanIn; k++ {
+			wt.Data[k*c.Filters+f] = c.W.Data[f*fanIn+k]
+		}
+	}
+	dcols := tensor.MatMul(wt, g, fanIn, c.Filters, cols)
+	return tensor.Col2Im(dcols, c.InC, c.InH, c.InW, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// Step applies SGD and clears gradients.
+func (c *Conv2D) Step(lr float64) {
+	for i := range c.W.Data {
+		c.W.Data[i] -= lr * c.dW.Data[i]
+		c.dW.Data[i] = 0
+	}
+	for f := range c.B {
+		c.B[f] -= lr * c.dB[f]
+		c.dB[f] = 0
+	}
+}
+
+// ReLU is the rectifier activation.
+type ReLU struct {
+	size int
+	mask []bool
+}
+
+// NewReLU returns a ReLU over size elements.
+func NewReLU(size int) *ReLU { return &ReLU{size: size, mask: make([]bool, size)} }
+
+// OutSize returns the element count.
+func (r *ReLU) OutSize() int { return r.size }
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		r.mask[i] = v > 0
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Step is a no-op: ReLU has no parameters.
+func (r *ReLU) Step(lr float64) {}
+
+// Dense is a fully connected layer.
+type Dense struct {
+	In, Out int
+	W       *tensor.Tensor // Out × In
+	B       []float64
+	dW      *tensor.Tensor
+	dB      []float64
+	lastIn  *tensor.Tensor
+}
+
+// NewDense constructs a dense layer with He-initialised weights.
+func NewDense(r *rng.Source, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, W: tensor.New(out, in), B: make([]float64, out),
+		dW: tensor.New(out, in), dB: make([]float64, out)}
+	r.FillNorm(d.W.Data, 0, math.Sqrt(2/float64(in)))
+	return d
+}
+
+// OutSize returns the output width.
+func (d *Dense) OutSize() int { return d.Out }
+
+// Forward computes Wx + b.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("ann: dense input %d, want %d", x.Len(), d.In))
+	}
+	d.lastIn = x
+	out := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.W.Data[o*d.In : (o+1)*d.In]
+		s := d.B[o]
+		for i, v := range x.Data {
+			s += row[i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns dL/dx = Wᵀ·grad.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.dB[o] += g
+		wRow := d.W.Data[o*d.In : (o+1)*d.In]
+		dwRow := d.dW.Data[o*d.In : (o+1)*d.In]
+		for i := range wRow {
+			dwRow[i] += g * d.lastIn.Data[i]
+			dx.Data[i] += g * wRow[i]
+		}
+	}
+	return dx
+}
+
+// Step applies SGD and clears gradients.
+func (d *Dense) Step(lr float64) {
+	for i := range d.W.Data {
+		d.W.Data[i] -= lr * d.dW.Data[i]
+		d.dW.Data[i] = 0
+	}
+	for o := range d.B {
+		d.B[o] -= lr * d.dB[o]
+		d.dB[o] = 0
+	}
+}
+
+// Network is a sequential stack of layers trained with softmax
+// cross-entropy.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the full stack.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Softmax returns the softmax of logits (numerically stabilised).
+func Softmax(logits *tensor.Tensor) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	exps := make([]float64, logits.Len())
+	sum := 0.0
+	for i, v := range logits.Data {
+		exps[i] = math.Exp(v - maxv)
+		sum += exps[i]
+	}
+	for i := range exps {
+		exps[i] /= sum
+	}
+	return exps
+}
+
+// TrainStep runs one sample of softmax-cross-entropy SGD, returning the
+// loss.
+func (n *Network) TrainStep(x *tensor.Tensor, label int, lr float64) float64 {
+	logits := n.Forward(x)
+	probs := Softmax(logits)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+
+	grad := tensor.New(logits.Len())
+	copy(grad.Data, probs)
+	grad.Data[label] -= 1
+
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	for _, l := range n.Layers {
+		l.Step(lr)
+	}
+	return loss
+}
+
+// Predict returns the argmax class for x.
+func (n *Network) Predict(x *tensor.Tensor) int {
+	return n.Forward(x).ArgMax()
+}

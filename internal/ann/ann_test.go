@@ -1,0 +1,225 @@
+package ann
+
+import (
+	"math"
+	"testing"
+
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dParam by central differences.
+func numericalGrad(f func() float64, p *float64) float64 {
+	const eps = 1e-5
+	orig := *p
+	*p = orig + eps
+	lp := f()
+	*p = orig - eps
+	lm := f()
+	*p = orig
+	return (lp - lm) / (2 * eps)
+}
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := &Dense{In: 2, Out: 2,
+		W:  tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2),
+		B:  []float64{0.5, -0.5},
+		dW: tensor.New(2, 2), dB: make([]float64, 2)}
+	out := d.Forward(tensor.FromSlice([]float64{1, 1}, 2))
+	if out.Data[0] != 3.5 || out.Data[1] != 6.5 {
+		t.Errorf("dense forward = %v", out.Data)
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	r := rng.New(3)
+	d := NewDense(r, 4, 3)
+	x := tensor.New(4)
+	r.FillUniform(x.Data, -1, 1)
+	label := 1
+
+	loss := func() float64 {
+		logits := d.Forward(x)
+		return -math.Log(Softmax(logits)[label])
+	}
+
+	// Analytic gradients.
+	logits := d.Forward(x)
+	probs := Softmax(logits)
+	grad := tensor.New(3)
+	copy(grad.Data, probs)
+	grad.Data[label]--
+	dx := d.Backward(grad)
+
+	for i := 0; i < d.W.Len(); i++ {
+		num := numericalGrad(loss, &d.W.Data[i])
+		if math.Abs(num-d.dW.Data[i]) > 1e-6 {
+			t.Fatalf("dW[%d]: analytic %v vs numeric %v", i, d.dW.Data[i], num)
+		}
+	}
+	for i := range d.B {
+		num := numericalGrad(loss, &d.B[i])
+		if math.Abs(num-d.dB[i]) > 1e-6 {
+			t.Fatalf("dB[%d]: analytic %v vs numeric %v", i, d.dB[i], num)
+		}
+	}
+	for i := range x.Data {
+		num := numericalGrad(loss, &x.Data[i])
+		if math.Abs(num-dx.Data[i]) > 1e-6 {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestConvGradCheck(t *testing.T) {
+	r := rng.New(7)
+	c := NewConv2D(r, 2, 6, 6, 3, 3, 3, 2, 0)
+	head := NewDense(r, c.OutSize(), 2)
+	x := tensor.New(2, 6, 6)
+	r.FillUniform(x.Data, -1, 1)
+	label := 0
+
+	loss := func() float64 {
+		logits := head.Forward(c.Forward(x).Reshape(c.OutSize()))
+		return -math.Log(Softmax(logits)[label])
+	}
+
+	logits := head.Forward(c.Forward(x).Reshape(c.OutSize()))
+	probs := Softmax(logits)
+	grad := tensor.New(2)
+	copy(grad.Data, probs)
+	grad.Data[label]--
+	gHead := head.Backward(grad)
+	dx := c.Backward(gHead.Reshape(c.Filters, c.OutH, c.OutW))
+
+	// Spot-check a sample of conv weight gradients plus all biases and a
+	// few input gradients.
+	for i := 0; i < c.W.Len(); i += 5 {
+		num := numericalGrad(loss, &c.W.Data[i])
+		if math.Abs(num-c.dW.Data[i]) > 1e-5 {
+			t.Fatalf("conv dW[%d]: analytic %v vs numeric %v", i, c.dW.Data[i], num)
+		}
+	}
+	for i := range c.B {
+		num := numericalGrad(loss, &c.B[i])
+		if math.Abs(num-c.dB[i]) > 1e-5 {
+			t.Fatalf("conv dB[%d]: analytic %v vs numeric %v", i, c.dB[i], num)
+		}
+	}
+	for i := 0; i < x.Len(); i += 7 {
+		num := numericalGrad(loss, &x.Data[i])
+		if math.Abs(num-dx.Data[i]) > 1e-5 {
+			t.Fatalf("conv dx[%d]: analytic %v vs numeric %v", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	re := NewReLU(3)
+	out := re.Forward(tensor.FromSlice([]float64{-1, 0, 2}, 3))
+	if out.Data[0] != 0 || out.Data[2] != 2 {
+		t.Errorf("relu forward = %v", out.Data)
+	}
+	g := re.Backward(tensor.FromSlice([]float64{5, 5, 5}, 3))
+	if g.Data[0] != 0 || g.Data[1] != 0 || g.Data[2] != 5 {
+		t.Errorf("relu backward = %v", g.Data)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	s := Softmax(tensor.FromSlice([]float64{1000, 1001, 999}, 3))
+	sum := 0.0
+	for _, v := range s {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("softmax produced %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if s[1] <= s[0] || s[0] <= s[2] {
+		t.Error("softmax ordering wrong")
+	}
+}
+
+// A small network must fit a linearly separable toy problem.
+func TestNetworkLearnsToy(t *testing.T) {
+	r := rng.New(11)
+	net := &Network{Layers: []Layer{NewDense(r, 2, 8), NewReLU(8), NewDense(r, 8, 2)}}
+
+	sample := func() (*tensor.Tensor, int) {
+		x := tensor.New(2)
+		x.Data[0] = r.Uniform(-1, 1)
+		x.Data[1] = r.Uniform(-1, 1)
+		label := 0
+		if x.Data[0]+x.Data[1] > 0 {
+			label = 1
+		}
+		return x, label
+	}
+
+	for i := 0; i < 2000; i++ {
+		x, y := sample()
+		net.TrainStep(x, y, 0.05)
+	}
+	correct := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		x, y := sample()
+		if net.Predict(x) == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / n
+	if acc < 0.95 {
+		t.Errorf("toy accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+// Training must reduce the loss on a fixed sample.
+func TestTrainStepReducesLoss(t *testing.T) {
+	r := rng.New(13)
+	net := &Network{Layers: []Layer{NewDense(r, 5, 4), NewReLU(4), NewDense(r, 4, 3)}}
+	x := tensor.New(5)
+	r.FillUniform(x.Data, 0, 1)
+	first := net.TrainStep(x, 2, 0.1)
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = net.TrainStep(x, 2, 0.1)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestConvStackShape(t *testing.T) {
+	r := rng.New(1)
+	// 28×28 input: conv1 5×5 s2 → 12×12×16, conv2 3×3 s2 → 5×5×8 = 200.
+	cs := NewConvStack(r, 1, 28, 28)
+	if cs.OutSize() != 200 {
+		t.Errorf("28x28 conv stack out = %d, want 200", cs.OutSize())
+	}
+	// 32×32×3 input: conv1 → 14×14×16, conv2 → 6×6×8 = 288.
+	cs2 := NewConvStack(r, 3, 32, 32)
+	if cs2.OutSize() != 288 {
+		t.Errorf("32x32 conv stack out = %d, want 288", cs2.OutSize())
+	}
+	x := tensor.New(1, 28, 28)
+	feat := cs.Extract(x)
+	if feat.Len() != 200 {
+		t.Errorf("extract len %d", feat.Len())
+	}
+}
+
+func TestExtractNonNegative(t *testing.T) {
+	r := rng.New(2)
+	cs := NewConvStack(r, 1, 28, 28)
+	x := tensor.New(1, 28, 28)
+	r.FillUniform(x.Data, 0, 1)
+	for i, v := range cs.Extract(x).Data {
+		if v < 0 {
+			t.Fatalf("feature %d negative: %v (rates cannot be negative)", i, v)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package chipnet
+
+import (
+	"math"
+	"testing"
+
+	"emstdp/internal/ann"
+	"emstdp/internal/dataset"
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// buildCalibratedStack pretrains a tiny conv stack on a few digits and
+// calibrates it.
+func buildCalibratedStack(t *testing.T, nTrain int) (*ann.ConvStack, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Generate(dataset.MNIST, nTrain, 20, 33)
+	cs, _ := ann.Pretrain(ds, ann.PretrainConfig{Epochs: 1, LR: 0.01, Seed: 5})
+	imgs := make([]*tensor.Tensor, 0, 30)
+	for i := 0; i < len(ds.Train) && i < 30; i++ {
+		imgs = append(imgs, ds.Train[i].Image)
+	}
+	cs.Calibrate(imgs)
+	return cs, ds
+}
+
+// The spiking conv front end's output rates must track the ANN's
+// normalised activations: rate ≈ act/A2 within rate-quantization error.
+func TestSpikingConvMatchesANN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cs, ds := buildCalibratedStack(t, 60)
+	cfg := DefaultConfig(cs.OutSize(), 10)
+	net, err := NewWithConv(cfg, cs, 1, 28, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img := ds.Train[0].Image
+	want := cs.NormalizedRates(img)
+
+	// Run a phase-1 pass and read conv2 spike counts.
+	net.Chip().ResetState()
+	net.programInput(img.Data)
+	net.phase.SetBiases(net.phaseOff)
+	net.Chip().Run(cfg.T)
+
+	T := float64(cfg.T)
+	var sumErr float64
+	n := len(want)
+	for i := 0; i < n; i++ {
+		got := float64(net.conv.c2.PostTrace(i)) / T
+		sumErr += math.Abs(got - want[i])
+	}
+	mae := sumErr / float64(n)
+	t.Logf("conv rate MAE vs ANN: %.4f", mae)
+	// Error budget: each spiking layer floor-quantizes its rate to 1/T
+	// (~0.016), the conv chain adds two steps of axon-delay skew (~2/64
+	// of the rate), and 8-bit weights perturb the drive; with rates
+	// spanning [0,1] after robust normalisation this lands near 0.05.
+	if mae > 0.08 {
+		t.Errorf("spiking conv diverges from ANN: MAE %.4f", mae)
+	}
+}
+
+// End-to-end: the full paper pipeline (spiking conv + on-chip dense
+// learning) must learn the synthetic digits well above chance.
+func TestChipWithConvLearnsDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cs, ds := buildCalibratedStack(t, 200)
+	cfg := DefaultConfig(cs.OutSize(), 60, 10)
+	cfg.Seed = 4
+	net, err := NewWithConv(cfg, cs, 1, 28, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for epoch := 0; epoch < 2; epoch++ {
+		order := r.Perm(len(ds.Train))
+		for _, idx := range order {
+			net.TrainSample(ds.Train[idx].Image.Data, ds.Train[idx].Label)
+		}
+	}
+	correct := 0
+	for _, s := range ds.Test {
+		if net.Predict(s.Image.Data) == s.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(ds.Test))
+	t.Logf("chip conv+dense digits accuracy: %.3f", acc)
+	if acc < 0.5 {
+		t.Errorf("end-to-end chip accuracy %.3f, want >= 0.5 (chance 0.1)", acc)
+	}
+}
+
+func TestNewWithConvValidatesSizes(t *testing.T) {
+	cs, _ := buildCalibratedStack(t, 10)
+	cfg := DefaultConfig(99, 10) // wrong feature count
+	if _, err := NewWithConv(cfg, cs, 1, 28, 28); err == nil {
+		t.Error("expected feature-size mismatch error")
+	}
+	cfg = DefaultConfig(cs.OutSize(), 10)
+	if _, err := NewWithConv(cfg, cs, 3, 32, 32); err == nil {
+		t.Error("expected input-shape mismatch error")
+	}
+	// Uncalibrated stack is rejected.
+	raw := ann.NewConvStack(rng.New(1), 1, 28, 28)
+	cfg = DefaultConfig(raw.OutSize(), 10)
+	if _, err := NewWithConv(cfg, raw, 1, 28, 28); err == nil {
+		t.Error("expected calibration error")
+	}
+}

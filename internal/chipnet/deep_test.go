@@ -1,0 +1,68 @@
+package chipnet
+
+import (
+	"testing"
+
+	"emstdp/internal/emstdp"
+	"emstdp/internal/rng"
+)
+
+// The chip netlist for a deep net (two hidden layers) must build and
+// learn under both feedback modes — the FA chain wires top-down through
+// the relay and per-layer banks.
+func TestChipDeepNetworkLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
+		cfg := DefaultConfig(16, 32, 16, 2)
+		cfg.Mode = mode
+		cfg.Seed = 6
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.NumPlasticLayers() != 3 {
+			t.Fatalf("plastic layers = %d", net.NumPlasticLayers())
+		}
+		r := rng.New(2006)
+		for i := 0; i < 3000; i++ {
+			x, y := xorSample(r, 16)
+			net.TrainSample(x, y)
+		}
+		correct := 0
+		const nTest = 300
+		for i := 0; i < nTest; i++ {
+			x, y := xorSample(r, 16)
+			if net.Predict(x) == y {
+				correct++
+			}
+		}
+		acc := float64(correct) / nTest
+		t.Logf("chip %v deep-net XOR accuracy: %.3f", mode, acc)
+		if acc < 0.8 {
+			t.Errorf("chip %v deep net accuracy %.3f, want >= 0.8", mode, acc)
+		}
+	}
+}
+
+// FA deploys more error-path populations than DFA on a deep topology.
+func TestChipDeepFAvsDFACores(t *testing.T) {
+	mk := func(mode emstdp.FeedbackMode) *Network {
+		cfg := DefaultConfig(100, 60, 30, 10)
+		cfg.Mode = mode
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	fa, dfa := mk(emstdp.FA), mk(emstdp.DFA)
+	t.Logf("deep net cores: FA %d, DFA %d", fa.CoresUsed(), dfa.CoresUsed())
+	if dfa.CoresUsed() >= fa.CoresUsed() {
+		t.Errorf("DFA cores %d >= FA cores %d", dfa.CoresUsed(), fa.CoresUsed())
+	}
+	if dfa.NumPlasticSynapses() != fa.NumPlasticSynapses() {
+		t.Error("forward plastic synapses must not depend on feedback mode")
+	}
+}

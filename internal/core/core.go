@@ -1,0 +1,299 @@
+// Package core is the high-level public API of the reproduction: it wires
+// the synthetic datasets, offline conv pretraining, and the two EMSTDP
+// backends — the full-precision reference ("Python (FP)" in the paper)
+// and the Loihi-class on-chip implementation — behind one Model type.
+//
+// A Model is the paper's experimental unit: the network
+// W×H×C − 5×5k×16c2s − 3×3k×8c2s − 100d − 10d with the conv layers
+// pretrained offline and frozen, and the dense layers trained online,
+// sample by sample, with EMSTDP.
+//
+// Quick start:
+//
+//	m, err := core.Build(core.Options{Dataset: dataset.MNIST})
+//	m.Train(1)
+//	fmt.Println(m.Evaluate().Accuracy())
+package core
+
+import (
+	"fmt"
+
+	"emstdp/internal/ann"
+	"emstdp/internal/chipnet"
+	"emstdp/internal/dataset"
+	"emstdp/internal/emstdp"
+	"emstdp/internal/metrics"
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// Backend selects the execution substrate.
+type Backend int
+
+const (
+	// FP is the full-precision software reference (float64 weights,
+	// identical spiking dynamics) — the paper's "Python" columns.
+	FP Backend = iota
+	// Chip runs on the Loihi-class simulator: 8-bit synapses, integer
+	// state, sum-of-products learning engine, core mapping — the
+	// paper's "Loihi" columns.
+	Chip
+)
+
+// String names the backend as the paper's tables do.
+func (b Backend) String() string {
+	if b == Chip {
+		return "Loihi"
+	}
+	return "Python (FP)"
+}
+
+// Options configures a Model. Zero values select the paper's defaults.
+type Options struct {
+	// Dataset picks the evaluation task.
+	Dataset dataset.Kind
+	// Backend picks FP or Chip.
+	Backend Backend
+	// Mode picks FA or DFA feedback (default DFA).
+	Mode emstdp.FeedbackMode
+	// Hidden lists hidden dense layer sizes (default: the paper's 100).
+	Hidden []int
+	// T is the phase length (default 64).
+	T int
+	// TrainSamples / TestSamples size the generated dataset (defaults
+	// 2000 / 500).
+	TrainSamples, TestSamples int
+	// PretrainEpochs configures offline conv pretraining (default 3).
+	PretrainEpochs int
+	// NeuronsPerCore is the chip mapping knob (default 10; chip backend
+	// only).
+	NeuronsPerCore int
+	// ConvOnChip additionally maps the frozen conv stack as spiking
+	// populations (chip backend only). When false, conv features are
+	// computed off-chip and programmed as input biases; accuracy is
+	// equivalent, runtime much lower, so experiments that only need the
+	// dense part's learning behaviour use false.
+	ConvOnChip bool
+	// Seed drives every random choice (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hidden == nil {
+		o.Hidden = []int{100}
+	}
+	if o.T == 0 {
+		o.T = 64
+	}
+	if o.TrainSamples == 0 {
+		o.TrainSamples = 2000
+	}
+	if o.TestSamples == 0 {
+		o.TestSamples = 500
+	}
+	if o.PretrainEpochs == 0 {
+		o.PretrainEpochs = 3
+	}
+	if o.NeuronsPerCore == 0 {
+		o.NeuronsPerCore = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Model is a ready-to-train EMSTDP system: dataset, frozen conv features
+// and a trainable dense network on the selected backend.
+type Model struct {
+	Opts Options
+
+	DS   *dataset.Dataset
+	Conv *ann.ConvStack
+	// PretrainAccuracy is the offline model's training accuracy, a
+	// sanity signal for the frozen features.
+	PretrainAccuracy float64
+
+	fp   *emstdp.Network
+	chip *chipnet.Network
+
+	trainFeat []metrics.Sample
+	testFeat  []metrics.Sample
+	shuffler  *rng.Source
+}
+
+// Build generates the dataset, pretrains and calibrates the conv stack,
+// and constructs the backend network.
+func Build(opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	m := &Model{Opts: opts}
+	m.DS = dataset.Generate(opts.Dataset, opts.TrainSamples, opts.TestSamples, opts.Seed)
+
+	m.Conv, m.PretrainAccuracy = ann.Pretrain(m.DS, ann.PretrainConfig{
+		Epochs: opts.PretrainEpochs, LR: 0.01, Seed: opts.Seed + 1,
+	})
+	calib := make([]*tensor.Tensor, 0, 64)
+	for i := 0; i < len(m.DS.Train) && i < 64; i++ {
+		calib = append(calib, m.DS.Train[i].Image)
+	}
+	m.Conv.Calibrate(calib)
+
+	m.trainFeat = m.featurize(m.DS.Train)
+	m.testFeat = m.featurize(m.DS.Test)
+	m.shuffler = rng.New(opts.Seed + 2)
+
+	sizes := append([]int{m.Conv.OutSize()}, opts.Hidden...)
+	sizes = append(sizes, m.DS.NumClasses)
+
+	switch opts.Backend {
+	case FP:
+		cfg := emstdp.DefaultConfig(sizes...)
+		cfg.T = opts.T
+		cfg.Mode = opts.Mode
+		cfg.Seed = opts.Seed + 3
+		m.fp = emstdp.New(cfg)
+	case Chip:
+		cfg := chipnet.DefaultConfig(sizes...)
+		cfg.T = opts.T
+		cfg.Mode = opts.Mode
+		cfg.Seed = opts.Seed + 3
+		cfg.NeuronsPerCore = opts.NeuronsPerCore
+		var err error
+		if opts.ConvOnChip {
+			m.chip, err = chipnet.NewWithConv(cfg, m.Conv, m.DS.C, m.DS.H, m.DS.W)
+		} else {
+			m.chip, err = chipnet.New(cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: building chip network: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown backend %d", opts.Backend)
+	}
+	return m, nil
+}
+
+// featurize maps raw samples to normalised feature-rate samples.
+func (m *Model) featurize(in []dataset.Sample) []metrics.Sample {
+	out := make([]metrics.Sample, len(in))
+	for i, s := range in {
+		out[i] = metrics.Sample{X: m.Conv.NormalizedRates(s.Image), Y: s.Label}
+	}
+	return out
+}
+
+// Features returns the frozen normalised conv features for an image.
+func (m *Model) Features(img *tensor.Tensor) []float64 {
+	return m.Conv.NormalizedRates(img)
+}
+
+// chipInput returns what the chip backend consumes for training sample i:
+// raw pixels when the conv stack is mapped on-chip, features otherwise.
+func (m *Model) chipInput(img *tensor.Tensor, feat []float64) []float64 {
+	if m.Opts.ConvOnChip {
+		return img.Data
+	}
+	return feat
+}
+
+// TrainSample runs one online EMSTDP update (features in, label in).
+// Implements incremental.Learner.
+func (m *Model) TrainSample(x []float64, label int) {
+	if m.fp != nil {
+		m.fp.TrainSample(x, label)
+		return
+	}
+	m.chip.TrainSample(x, label)
+}
+
+// Predict classifies a feature vector. Implements incremental.Learner.
+func (m *Model) Predict(x []float64) int {
+	if m.fp != nil {
+		return m.fp.Predict(x)
+	}
+	return m.chip.Predict(x)
+}
+
+// SetOutputDisabled forwards to the backend (incremental protocol).
+func (m *Model) SetOutputDisabled(disabled []bool) {
+	if m.fp != nil {
+		m.fp.SetOutputDisabled(disabled)
+		return
+	}
+	m.chip.SetOutputDisabled(disabled)
+}
+
+// EnableAllOutputs forwards to the backend.
+func (m *Model) EnableAllOutputs() {
+	if m.fp != nil {
+		m.fp.EnableAllOutputs()
+		return
+	}
+	m.chip.EnableAllOutputs()
+}
+
+// SetLRReduced forwards to the backend.
+func (m *Model) SetLRReduced(reduced bool) {
+	if m.fp != nil {
+		m.fp.SetLRReduced(reduced)
+		return
+	}
+	m.chip.SetLRReduced(reduced)
+}
+
+// TrainEpoch streams the whole training split once, in a fresh random
+// order (online learning: batch size 1, no augmentation — §IV-A).
+func (m *Model) TrainEpoch() {
+	order := m.shuffler.Perm(len(m.trainFeat))
+	for _, idx := range order {
+		if m.chip != nil && m.Opts.ConvOnChip {
+			s := m.DS.Train[idx]
+			m.chip.TrainSample(s.Image.Data, s.Label)
+			continue
+		}
+		s := m.trainFeat[idx]
+		m.TrainSample(s.X, s.Y)
+	}
+}
+
+// Train runs the given number of epochs.
+func (m *Model) Train(epochs int) {
+	for e := 0; e < epochs; e++ {
+		m.TrainEpoch()
+	}
+}
+
+// Evaluate classifies the test split and returns the confusion matrix.
+func (m *Model) Evaluate() *metrics.Confusion {
+	cm := metrics.NewConfusion(m.DS.NumClasses)
+	for i, s := range m.testFeat {
+		var pred int
+		if m.chip != nil && m.Opts.ConvOnChip {
+			pred = m.chip.Predict(m.DS.Test[i].Image.Data)
+		} else {
+			pred = m.Predict(s.X)
+		}
+		cm.Observe(s.Y, pred)
+	}
+	return cm
+}
+
+// RefreshFeatures recomputes the cached featurised splits after the conv
+// stack's parameters change (model loading overwrites them).
+func (m *Model) RefreshFeatures() {
+	m.trainFeat = m.featurize(m.DS.Train)
+	m.testFeat = m.featurize(m.DS.Test)
+}
+
+// TrainFeatures and TestFeatures expose the featurised splits for
+// protocol harnesses (incremental learning).
+func (m *Model) TrainFeatures() []metrics.Sample { return m.trainFeat }
+
+// TestFeatures returns the featurised test split.
+func (m *Model) TestFeatures() []metrics.Sample { return m.testFeat }
+
+// ChipNetwork returns the on-chip network (nil for the FP backend).
+func (m *Model) ChipNetwork() *chipnet.Network { return m.chip }
+
+// FPNetwork returns the reference network (nil for the chip backend).
+func (m *Model) FPNetwork() *emstdp.Network { return m.fp }

@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"math"
+
+	"emstdp/internal/rng"
+)
+
+// Canvas is a single-channel grayscale raster in [0,1] used by the
+// procedural dataset generators. All drawing primitives write intensity
+// values; composition is max-blend so overlapping strokes do not exceed 1.
+type Canvas struct {
+	H, W int
+	Pix  []float64
+}
+
+// NewCanvas returns a zeroed H×W canvas.
+func NewCanvas(h, w int) *Canvas {
+	return &Canvas{H: h, W: w, Pix: make([]float64, h*w)}
+}
+
+// At returns the pixel at (y, x), or 0 outside the canvas.
+func (c *Canvas) At(y, x int) float64 {
+	if y < 0 || y >= c.H || x < 0 || x >= c.W {
+		return 0
+	}
+	return c.Pix[y*c.W+x]
+}
+
+// blend writes v at (y, x) with max composition, ignoring out-of-bounds.
+func (c *Canvas) blend(y, x int, v float64) {
+	if y < 0 || y >= c.H || x < 0 || x >= c.W {
+		return
+	}
+	if v > c.Pix[y*c.W+x] {
+		c.Pix[y*c.W+x] = v
+	}
+}
+
+// FillRect fills the axis-aligned rectangle [y0,y1)×[x0,x1) with v.
+func (c *Canvas) FillRect(y0, x0, y1, x1 int, v float64) {
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			c.blend(y, x, v)
+		}
+	}
+}
+
+// FillEllipse fills the ellipse centred at (cy, cx) with radii (ry, rx).
+func (c *Canvas) FillEllipse(cy, cx, ry, rx, v float64) {
+	y0, y1 := int(cy-ry)-1, int(cy+ry)+2
+	x0, x1 := int(cx-rx)-1, int(cx+rx)+2
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			dy := (float64(y) - cy) / ry
+			dx := (float64(x) - cx) / rx
+			if dy*dy+dx*dx <= 1 {
+				c.blend(y, x, v)
+			}
+		}
+	}
+}
+
+// Line draws a segment from (y0,x0) to (y1,x1) with the given thickness.
+func (c *Canvas) Line(y0, x0, y1, x1, thickness, v float64) {
+	dy, dx := y1-y0, x1-x0
+	length := math.Hypot(dy, dx)
+	steps := int(length*2) + 1
+	r := thickness / 2
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		c.FillEllipse(y0+t*dy, x0+t*dx, r, r, v)
+	}
+}
+
+// bilinear samples the canvas at fractional coordinates with bilinear
+// interpolation, returning 0 outside.
+func (c *Canvas) bilinear(y, x float64) float64 {
+	y0 := int(math.Floor(y))
+	x0 := int(math.Floor(x))
+	fy, fx := y-float64(y0), x-float64(x0)
+	v00 := c.At(y0, x0)
+	v01 := c.At(y0, x0+1)
+	v10 := c.At(y0+1, x0)
+	v11 := c.At(y0+1, x0+1)
+	return v00*(1-fy)*(1-fx) + v01*(1-fy)*fx + v10*fy*(1-fx) + v11*fy*fx
+}
+
+// Affine describes a randomised 2-D affine distortion applied about the
+// canvas centre: rotation (radians), anisotropic scale, shear and a pixel
+// translation. It models the writer/pose variation of the real datasets.
+type Affine struct {
+	Rot            float64
+	ScaleY, ScaleX float64
+	Shear          float64
+	TransY, TransX float64
+}
+
+// RandomAffine draws an affine jitter with the given magnitudes.
+func RandomAffine(r *rng.Source, maxRot, scaleJitter, maxShear, maxTrans float64) Affine {
+	return Affine{
+		Rot:    r.Uniform(-maxRot, maxRot),
+		ScaleY: 1 + r.Uniform(-scaleJitter, scaleJitter),
+		ScaleX: 1 + r.Uniform(-scaleJitter, scaleJitter),
+		Shear:  r.Uniform(-maxShear, maxShear),
+		TransY: r.Uniform(-maxTrans, maxTrans),
+		TransX: r.Uniform(-maxTrans, maxTrans),
+	}
+}
+
+// Warp applies the affine distortion by inverse mapping with bilinear
+// sampling, returning a new canvas of the same size.
+func (c *Canvas) Warp(a Affine) *Canvas {
+	out := NewCanvas(c.H, c.W)
+	cy, cx := float64(c.H-1)/2, float64(c.W-1)/2
+	cos, sin := math.Cos(-a.Rot), math.Sin(-a.Rot)
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			// Destination → source: undo translation, rotation, shear, scale.
+			dy := float64(y) - cy - a.TransY
+			dx := float64(x) - cx - a.TransX
+			ry := cos*dy - sin*dx
+			rx := sin*dy + cos*dx
+			rx -= a.Shear * ry
+			sy := ry/a.ScaleY + cy
+			sx := rx/a.ScaleX + cx
+			out.Pix[y*c.W+x] = c.bilinear(sy, sx)
+		}
+	}
+	return out
+}
+
+// Resize returns the canvas resampled to h×w with bilinear interpolation.
+func (c *Canvas) Resize(h, w int) *Canvas {
+	out := NewCanvas(h, w)
+	for y := 0; y < h; y++ {
+		sy := (float64(y) + 0.5) * float64(c.H) / float64(h) // pixel-centre mapping
+		for x := 0; x < w; x++ {
+			sx := (float64(x) + 0.5) * float64(c.W) / float64(w)
+			out.Pix[y*w+x] = c.bilinear(sy-0.5, sx-0.5)
+		}
+	}
+	return out
+}
+
+// CenterCrop returns the central h×w region.
+func (c *Canvas) CenterCrop(h, w int) *Canvas {
+	out := NewCanvas(h, w)
+	oy, ox := (c.H-h)/2, (c.W-w)/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = c.At(y+oy, x+ox)
+		}
+	}
+	return out
+}
+
+// AddNoise adds i.i.d. Gaussian noise with the given standard deviation.
+func (c *Canvas) AddNoise(r *rng.Source, sd float64) {
+	for i := range c.Pix {
+		c.Pix[i] += r.NormScaled(0, sd)
+	}
+}
+
+// Speckle applies multiplicative exponential speckle — the coherent-imaging
+// noise model of SAR. looks is the number of averaged looks; higher looks
+// means milder speckle (variance 1/looks).
+func (c *Canvas) Speckle(r *rng.Source, looks int) {
+	if looks < 1 {
+		looks = 1
+	}
+	for i := range c.Pix {
+		m := 0.0
+		for l := 0; l < looks; l++ {
+			m += r.Exp(1)
+		}
+		c.Pix[i] *= m / float64(looks)
+	}
+}
+
+// Clamp01 clamps all pixels into [0, 1].
+func (c *Canvas) Clamp01() {
+	for i, v := range c.Pix {
+		if v < 0 {
+			c.Pix[i] = 0
+		} else if v > 1 {
+			c.Pix[i] = 1
+		}
+	}
+}
+
+// FromBitmap renders a string bitmap (rows of ' ' and non-' ' runes) into
+// the centre of an h×w canvas, scaling the glyph to fill the canvas minus
+// margin pixels on each side. Non-space runes map to intensity 1.
+func FromBitmap(rows []string, h, w, margin int) *Canvas {
+	gh := len(rows)
+	gw := 0
+	for _, row := range rows {
+		if len(row) > gw {
+			gw = len(row)
+		}
+	}
+	glyph := NewCanvas(gh, gw)
+	for y, row := range rows {
+		for x, r := range row {
+			if r != ' ' {
+				glyph.Pix[y*gw+x] = 1
+			}
+		}
+	}
+	inner := glyph.Resize(h-2*margin, w-2*margin)
+	out := NewCanvas(h, w)
+	for y := 0; y < inner.H; y++ {
+		for x := 0; x < inner.W; x++ {
+			out.Pix[(y+margin)*w+x+margin] = inner.Pix[y*inner.W+x]
+		}
+	}
+	return out
+}

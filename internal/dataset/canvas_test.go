@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"emstdp/internal/rng"
+)
+
+func TestCanvasBounds(t *testing.T) {
+	c := NewCanvas(4, 4)
+	if c.At(-1, 0) != 0 || c.At(0, 4) != 0 {
+		t.Error("out-of-bounds At should be 0")
+	}
+	c.blend(-1, 0, 1) // must not panic
+	c.blend(0, 0, 0.5)
+	c.blend(0, 0, 0.3) // max blend keeps 0.5
+	if c.At(0, 0) != 0.5 {
+		t.Errorf("blend = %v", c.At(0, 0))
+	}
+}
+
+func TestFillRect(t *testing.T) {
+	c := NewCanvas(6, 6)
+	c.FillRect(1, 2, 3, 5, 1)
+	if c.At(1, 2) != 1 || c.At(2, 4) != 1 {
+		t.Error("inside rect not filled")
+	}
+	if c.At(0, 2) != 0 || c.At(3, 2) != 0 || c.At(1, 5) != 0 {
+		t.Error("outside rect filled")
+	}
+}
+
+func TestFillEllipseCoversCenter(t *testing.T) {
+	c := NewCanvas(11, 11)
+	c.FillEllipse(5, 5, 3, 3, 1)
+	if c.At(5, 5) != 1 {
+		t.Error("center not filled")
+	}
+	if c.At(0, 0) != 0 {
+		t.Error("corner filled")
+	}
+	if c.At(5, 8) != 1 {
+		t.Error("radius edge not filled")
+	}
+}
+
+func TestLineConnects(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Line(1, 1, 8, 8, 1.5, 1)
+	// Every point along the diagonal must be covered.
+	for i := 1; i <= 8; i++ {
+		if c.At(i, i) == 0 {
+			t.Errorf("line gap at (%d,%d)", i, i)
+		}
+	}
+}
+
+func TestWarpIdentity(t *testing.T) {
+	c := NewCanvas(8, 8)
+	c.FillRect(2, 2, 6, 6, 1)
+	w := c.Warp(Affine{ScaleY: 1, ScaleX: 1})
+	for i := range c.Pix {
+		if math.Abs(w.Pix[i]-c.Pix[i]) > 1e-9 {
+			t.Fatalf("identity warp changed pixel %d: %v vs %v", i, w.Pix[i], c.Pix[i])
+		}
+	}
+}
+
+func TestWarpTranslation(t *testing.T) {
+	c := NewCanvas(9, 9)
+	c.FillRect(4, 4, 5, 5, 1)
+	w := c.Warp(Affine{ScaleY: 1, ScaleX: 1, TransY: 2, TransX: -1})
+	if w.At(6, 3) < 0.9 {
+		t.Errorf("translated pixel missing: %v", w.At(6, 3))
+	}
+	if w.At(4, 4) > 0.1 {
+		t.Errorf("original pixel should have moved: %v", w.At(4, 4))
+	}
+}
+
+func TestWarpMassConservedApprox(t *testing.T) {
+	// A mild rotation keeps total intensity roughly constant (glyph away
+	// from the border).
+	c := NewCanvas(20, 20)
+	c.FillRect(7, 7, 13, 13, 1)
+	before := 0.0
+	for _, v := range c.Pix {
+		before += v
+	}
+	w := c.Warp(Affine{Rot: 0.3, ScaleY: 1, ScaleX: 1})
+	after := 0.0
+	for _, v := range w.Pix {
+		after += v
+	}
+	if math.Abs(after-before)/before > 0.1 {
+		t.Errorf("rotation changed mass: %v -> %v", before, after)
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := NewCanvas(8, 8)
+	c.FillRect(0, 0, 8, 8, 0.5)
+	r := c.Resize(4, 4)
+	if r.H != 4 || r.W != 4 {
+		t.Fatal("resize shape wrong")
+	}
+	for _, v := range r.Pix {
+		if math.Abs(v-0.5) > 0.05 {
+			t.Errorf("uniform image resized to %v", v)
+		}
+	}
+}
+
+func TestCenterCrop(t *testing.T) {
+	c := NewCanvas(8, 8)
+	c.FillRect(3, 3, 5, 5, 1)
+	cr := c.CenterCrop(4, 4)
+	if cr.H != 4 || cr.W != 4 {
+		t.Fatal("crop shape")
+	}
+	if cr.At(1, 1) != 1 || cr.At(2, 2) != 1 {
+		t.Error("crop not centred")
+	}
+}
+
+func TestSpeckleStats(t *testing.T) {
+	r := rng.New(5)
+	c := NewCanvas(60, 60)
+	c.FillRect(0, 0, 60, 60, 0.5)
+	c.Speckle(r, 3)
+	mean, varSum := 0.0, 0.0
+	for _, v := range c.Pix {
+		mean += v
+	}
+	mean /= float64(len(c.Pix))
+	for _, v := range c.Pix {
+		varSum += (v - mean) * (v - mean)
+	}
+	variance := varSum / float64(len(c.Pix))
+	// Multiplicative 3-look speckle on 0.5: mean stays ~0.5,
+	// variance ~ 0.25/3 = 0.083.
+	if math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("speckle mean %v, want ~0.5", mean)
+	}
+	if variance < 0.04 || variance > 0.15 {
+		t.Errorf("speckle variance %v, want ~0.083", variance)
+	}
+}
+
+func TestSpeckleZeroLooksClamps(t *testing.T) {
+	r := rng.New(6)
+	c := NewCanvas(4, 4)
+	c.FillRect(0, 0, 4, 4, 1)
+	c.Speckle(r, 0) // must not divide by zero
+	for _, v := range c.Pix {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("speckle with 0 looks produced non-finite pixel")
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	c := NewCanvas(1, 3)
+	c.Pix = []float64{-0.5, 0.5, 1.5}
+	c.Clamp01()
+	if c.Pix[0] != 0 || c.Pix[1] != 0.5 || c.Pix[2] != 1 {
+		t.Errorf("clamp = %v", c.Pix)
+	}
+}
+
+func TestFromBitmap(t *testing.T) {
+	c := FromBitmap([]string{"X X", " X ", "X X"}, 12, 12, 2)
+	if c.H != 12 || c.W != 12 {
+		t.Fatal("bitmap canvas shape")
+	}
+	// Margin stays empty.
+	for x := 0; x < 12; x++ {
+		if c.At(0, x) != 0 || c.At(11, x) != 0 {
+			t.Fatal("margin not empty")
+		}
+	}
+	// Center of the X pattern is bright.
+	if c.At(5, 5) == 0 && c.At(6, 6) == 0 {
+		t.Error("glyph center empty")
+	}
+}
+
+func TestRandomAffineRanges(t *testing.T) {
+	r := rng.New(8)
+	for i := 0; i < 100; i++ {
+		a := RandomAffine(r, 0.2, 0.1, 0.15, 2)
+		if math.Abs(a.Rot) > 0.2 || math.Abs(a.Shear) > 0.15 ||
+			a.ScaleY < 0.9 || a.ScaleY > 1.1 || math.Abs(a.TransX) > 2 {
+			t.Fatalf("affine out of range: %+v", a)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"math"
+
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// cifarClass parameterises one CIFAR-10-like class as a distribution over
+// foreground shape, hue and texture. Natural-image difficulty comes from
+// cluttered backgrounds, large pose/scale variation and colour overlap
+// between classes, which this generator reproduces: backgrounds are random
+// textured gradients, the foreground object is small relative to the frame
+// and each class's hue range overlaps its neighbours'.
+type cifarClass struct {
+	shape      int     // 0 disc, 1 box, 2 triangle, 3 bar, 4 ring
+	hueLo, hHi float64 // base hue range (degrees)
+	elongation float64 // aspect ratio of the shape
+	textured   bool    // high-frequency texture on the object
+}
+
+var cifarClasses = [10]cifarClass{
+	{shape: 0, hueLo: 0, hHi: 60, elongation: 1.0, textured: false},    // 0: warm disc ("bird")
+	{shape: 1, hueLo: 200, hHi: 260, elongation: 1.6, textured: false}, // 1: blue box ("car")
+	{shape: 2, hueLo: 80, hHi: 140, elongation: 1.0, textured: true},   // 2: green triangle ("frog")
+	{shape: 3, hueLo: 20, hHi: 80, elongation: 2.4, textured: false},   // 3: long warm bar ("plane")
+	{shape: 4, hueLo: 300, hHi: 360, elongation: 1.0, textured: false}, // 4: magenta ring
+	{shape: 0, hueLo: 180, hHi: 240, elongation: 1.3, textured: true},  // 5: cool textured disc ("ship")
+	{shape: 1, hueLo: 40, hHi: 100, elongation: 1.0, textured: true},   // 6: textured box ("truck")
+	{shape: 2, hueLo: 250, hHi: 310, elongation: 1.5, textured: false}, // 7: violet triangle
+	{shape: 3, hueLo: 120, hHi: 180, elongation: 2.0, textured: true},  // 8: green-cyan bar
+	{shape: 4, hueLo: 0, hHi: 40, elongation: 1.4, textured: true},     // 9: warm ring
+}
+
+// genCIFAR renders one 3×32×32 CIFAR-10-like sample.
+func genCIFAR(r *rng.Source, class int) *tensor.Tensor {
+	const h, w = 32, 32
+	spec := cifarClasses[class]
+	img := tensor.New(3, h, w)
+
+	// Background: two-corner colour gradient plus band-limited noise.
+	var bg [2][3]float64
+	for k := 0; k < 2; k++ {
+		hueToRGB(r.Uniform(0, 360), r.Uniform(0.1, 0.5), r.Uniform(0.2, 0.8), &bg[k])
+	}
+	nfy, nfx := r.Uniform(0.3, 1.2), r.Uniform(0.3, 1.2)
+	nph := r.Uniform(0, 6.28)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t := (float64(y) + float64(x)) / float64(h+w-2)
+			n := 0.12 * (ripple(float64(y)*nfy+nph) + ripple(float64(x)*nfx-nph) - 1)
+			for ch := 0; ch < 3; ch++ {
+				img.Data[(ch*h+y)*w+x] = bg[0][ch]*(1-t) + bg[1][ch]*t + n
+			}
+		}
+	}
+
+	// Foreground object: class shape in a class hue, random pose.
+	mask := NewCanvas(h, w)
+	cy := r.Uniform(10, 22)
+	cx := r.Uniform(10, 22)
+	size := r.Uniform(5, 10)
+	el := spec.elongation * r.Uniform(0.8, 1.25)
+	switch spec.shape {
+	case 0:
+		mask.FillEllipse(cy, cx, size, size*el, 1)
+	case 1:
+		mask.FillRect(int(cy-size), int(cx-size*el), int(cy+size), int(cx+size*el), 1)
+	case 2:
+		for i := 0.0; i < size*2; i++ {
+			half := i * el / 2
+			mask.FillRect(int(cy-size+i), int(cx-half), int(cy-size+i+1), int(cx+half)+1, 1)
+		}
+	case 3:
+		mask.FillRect(int(cy-size/el), int(cx-size*el), int(cy+size/el), int(cx+size*el), 1)
+	case 4:
+		mask.FillEllipse(cy, cx, size, size*el, 1)
+		inner := NewCanvas(h, w)
+		inner.FillEllipse(cy, cx, size*0.55, size*el*0.55, 1)
+		for i := range mask.Pix {
+			mask.Pix[i] -= inner.Pix[i]
+			if mask.Pix[i] < 0 {
+				mask.Pix[i] = 0
+			}
+		}
+	}
+	mask = mask.Warp(RandomAffine(r, math.Pi, 0.2, 0.3, 3))
+
+	hue := r.Uniform(spec.hueLo, spec.hHi)
+	var fg [3]float64
+	hueToRGB(hue, r.Uniform(0.5, 0.9), r.Uniform(0.4, 0.9), &fg)
+	tfy, tfx := r.Uniform(1.5, 3.0), r.Uniform(1.5, 3.0)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m := mask.Pix[y*w+x]
+			if m <= 0 {
+				continue
+			}
+			tex := 1.0
+			if spec.textured {
+				tex = 0.55 + 0.45*ripple(float64(y)*tfy+float64(x)*tfx)
+			}
+			for ch := 0; ch < 3; ch++ {
+				i := (ch*h+y)*w + x
+				img.Data[i] = img.Data[i]*(1-m) + fg[ch]*tex*m
+			}
+		}
+	}
+
+	// Sensor noise on all channels.
+	for i := range img.Data {
+		img.Data[i] += r.NormScaled(0, 0.08)
+		if img.Data[i] < 0 {
+			img.Data[i] = 0
+		} else if img.Data[i] > 1 {
+			img.Data[i] = 1
+		}
+	}
+	return img
+}
+
+// hueToRGB converts HSV (hue in degrees, saturation, value in [0,1]) to RGB.
+func hueToRGB(hue, sat, val float64, out *[3]float64) {
+	hue = math.Mod(hue, 360)
+	if hue < 0 {
+		hue += 360
+	}
+	c := val * sat
+	hp := hue / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var rgb [3]float64
+	switch {
+	case hp < 1:
+		rgb = [3]float64{c, x, 0}
+	case hp < 2:
+		rgb = [3]float64{x, c, 0}
+	case hp < 3:
+		rgb = [3]float64{0, c, x}
+	case hp < 4:
+		rgb = [3]float64{0, x, c}
+	case hp < 5:
+		rgb = [3]float64{x, 0, c}
+	default:
+		rgb = [3]float64{c, 0, x}
+	}
+	m := val - c
+	for i := range rgb {
+		out[i] = rgb[i] + m
+	}
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// digitGlyphs is a 5×7 stroke font for the ten digits. Each sample renders
+// the class glyph at 28×28 and applies random affine jitter, stroke-weight
+// variation and sensor noise — the handwriting variation of MNIST.
+var digitGlyphs = [10][]string{
+	{ // 0
+		" XXX ",
+		"X   X",
+		"X  XX",
+		"X X X",
+		"XX  X",
+		"X   X",
+		" XXX ",
+	},
+	{ // 1
+		"  X  ",
+		" XX  ",
+		"  X  ",
+		"  X  ",
+		"  X  ",
+		"  X  ",
+		" XXX ",
+	},
+	{ // 2
+		" XXX ",
+		"X   X",
+		"    X",
+		"   X ",
+		"  X  ",
+		" X   ",
+		"XXXXX",
+	},
+	{ // 3
+		"XXXXX",
+		"    X",
+		"   X ",
+		"  XX ",
+		"    X",
+		"X   X",
+		" XXX ",
+	},
+	{ // 4
+		"   X ",
+		"  XX ",
+		" X X ",
+		"X  X ",
+		"XXXXX",
+		"   X ",
+		"   X ",
+	},
+	{ // 5
+		"XXXXX",
+		"X    ",
+		"XXXX ",
+		"    X",
+		"    X",
+		"X   X",
+		" XXX ",
+	},
+	{ // 6
+		"  XX ",
+		" X   ",
+		"X    ",
+		"XXXX ",
+		"X   X",
+		"X   X",
+		" XXX ",
+	},
+	{ // 7
+		"XXXXX",
+		"    X",
+		"   X ",
+		"  X  ",
+		" X   ",
+		" X   ",
+		" X   ",
+	},
+	{ // 8
+		" XXX ",
+		"X   X",
+		"X   X",
+		" XXX ",
+		"X   X",
+		"X   X",
+		" XXX ",
+	},
+	{ // 9
+		" XXX ",
+		"X   X",
+		"X   X",
+		" XXXX",
+		"    X",
+		"   X ",
+		" XX  ",
+	},
+}
+
+// genDigit renders one MNIST-like sample of the given class.
+func genDigit(r *rng.Source, class int) *tensor.Tensor {
+	c := FromBitmap(digitGlyphs[class], 28, 28, 4)
+	// Stroke-weight variation: a light blur-dilate mix.
+	if r.Bernoulli(0.5) {
+		c = dilate(c, r.Uniform(0.2, 0.9))
+	}
+	a := RandomAffine(r, 0.20, 0.15, 0.15, 2.0)
+	c = c.Warp(a)
+	// Per-sample contrast variation and mild sensor noise.
+	gain := r.Uniform(0.8, 1.0)
+	for i := range c.Pix {
+		c.Pix[i] *= gain
+	}
+	c.AddNoise(r, 0.05)
+	c.Clamp01()
+	return canvasToTensor(c)
+}
+
+// dilate thickens bright strokes by blending each pixel with amount·max of
+// its 4-neighbourhood.
+func dilate(c *Canvas, amount float64) *Canvas {
+	out := NewCanvas(c.H, c.W)
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			m := c.At(y, x)
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				if v := c.At(y+d[0], x+d[1]); v > m {
+					m = v
+				}
+			}
+			out.Pix[y*c.W+x] = c.At(y, x) + amount*(m-c.At(y, x))
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"emstdp/internal/rng"
+	"emstdp/internal/tensor"
+)
+
+// fashionGlyphs holds 12×12 silhouettes for the ten Fashion-MNIST classes:
+// t-shirt, trouser, pullover, dress, coat, sandal, shirt, sneaker, bag,
+// ankle boot. Several classes are deliberately near-duplicates of each
+// other (t-shirt/shirt/pullover/coat), mirroring why Fashion-MNIST is
+// harder than MNIST: the confusable garment classes.
+var fashionGlyphs = [10][]string{
+	{ // 0 t-shirt: short sleeves, straight body
+		"XXX    XXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"X XXXXXX X",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+	},
+	{ // 1 trouser: two legs
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+		" XXX  XXX ",
+	},
+	{ // 2 pullover: long sleeves, straight body
+		"XXX    XXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"XX XXXX XX",
+		"XX XXXX XX",
+		"XX XXXX XX",
+		"XX XXXX XX",
+		"XX XXXX XX",
+		"   XXXX   ",
+	},
+	{ // 3 dress: fitted top, flared skirt
+		"   XXXX   ",
+		"   XXXX   ",
+		"   XXXX   ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+	},
+	{ // 4 coat: long sleeves, long open body
+		"XXX    XXX",
+		"XXXXXXXXXX",
+		"XXXX XXXXX",
+		"XXXX XXXXX",
+		"XX X XX XX",
+		"XX X XX XX",
+		"XX X XX XX",
+		"XX X XX XX",
+		"XXXX XXXXX",
+		"XXXX XXXXX",
+	},
+	{ // 5 sandal: open straps, flat sole
+		"          ",
+		"          ",
+		"          ",
+		"  X    X  ",
+		" X X  X X ",
+		"X   XX   X",
+		"X        X",
+		"XXXXXXXXXX",
+		" XXXXXXXX ",
+		"          ",
+	},
+	{ // 6 shirt: like t-shirt with collar and longer sleeves
+		"XXX XX XXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"X XXXXXX X",
+		"X XXXXXX X",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+		"  XXXXXX  ",
+	},
+	{ // 7 sneaker: low profile, thick sole
+		"          ",
+		"          ",
+		"          ",
+		"      XXX ",
+		"   XXXXXXX",
+		" XXXXXXXXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"          ",
+	},
+	{ // 8 bag: body with handle on top
+		"   XXXX   ",
+		"  XX  XX  ",
+		"  X    X  ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+		" XXXXXXXX ",
+	},
+	{ // 9 ankle boot: high shaft, heel
+		"   XXXX   ",
+		"   XXXX   ",
+		"   XXXX   ",
+		"   XXXXX  ",
+		"   XXXXXX ",
+		"  XXXXXXXX",
+		" XXXXXXXXX",
+		"XXXXXXXXXX",
+		"XXXXXXXXXX",
+		"          ",
+	},
+}
+
+// genFashion renders one Fashion-MNIST-like sample. More aggressive affine
+// jitter, texture shading and noise than the digits generator — the class
+// silhouettes overlap more, landing the task between MNIST and MSTAR in
+// difficulty.
+func genFashion(r *rng.Source, class int) *tensor.Tensor {
+	c := FromBitmap(fashionGlyphs[class], 28, 28, 3)
+	// Garment texture: low-frequency intensity ripple across the silhouette.
+	fy := r.Uniform(0.2, 0.8)
+	fx := r.Uniform(0.2, 0.8)
+	ph := r.Uniform(0, 6.28)
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			i := y*c.W + x
+			if c.Pix[i] > 0 {
+				c.Pix[i] *= 0.65 + 0.35*ripple(float64(y)*fy+float64(x)*fx+ph)
+			}
+		}
+	}
+	a := RandomAffine(r, 0.25, 0.22, 0.20, 2.5)
+	c = c.Warp(a)
+	gain := r.Uniform(0.65, 1.0)
+	for i := range c.Pix {
+		c.Pix[i] *= gain
+	}
+	c.AddNoise(r, 0.09)
+	c.Clamp01()
+	return canvasToTensor(c)
+}
+
+// ripple is a cheap smooth periodic function in [0,1].
+func ripple(t float64) float64 {
+	// Triangle wave through a smoothstep: avoids math.Sin in the hot loop.
+	t -= float64(int(t/2)) * 2
+	if t < 0 {
+		t += 2
+	}
+	if t > 1 {
+		t = 2 - t
+	}
+	return t * t * (3 - 2*t)
+}

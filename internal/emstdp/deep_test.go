@@ -1,0 +1,96 @@
+package emstdp
+
+import (
+	"testing"
+
+	"emstdp/internal/rng"
+)
+
+// fourBlockTask is separable but benefits from depth: class = parity
+// structure over four input blocks (two XOR pairs summed).
+func fourBlockSample(r *rng.Source, n int) ([]float64, int) {
+	a, b := r.Intn(2), r.Intn(2)
+	x := make([]float64, n)
+	q := n / 4
+	hot := []int{a, 1 - a, b, 1 - b}
+	for i := range x {
+		if hot[min(i/q, 3)] == 1 {
+			x[i] = 0.7 + r.Uniform(-0.05, 0.05)
+		} else {
+			x[i] = 0.1 + r.Uniform(-0.05, 0.05)
+		}
+	}
+	return x, a ^ b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// A three-trainable-layer network (two hidden) must learn under both
+// feedback modes: FA chains error banks layer to layer ("an arbitrary
+// number of layers", §III-B), DFA broadcasts to both.
+func TestDeepNetworkLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, mode := range []FeedbackMode{FA, DFA} {
+		cfg := DefaultConfig(16, 32, 16, 2)
+		cfg.Mode = mode
+		cfg.Seed = 6
+		net := New(cfg)
+		if net.NumLayers() != 3 {
+			t.Fatalf("layers = %d", net.NumLayers())
+		}
+		r := rng.New(2006)
+		for i := 0; i < 4000; i++ {
+			x, y := fourBlockSample(r, 16)
+			net.TrainSample(x, y)
+		}
+		correct := 0
+		const nTest = 300
+		for i := 0; i < nTest; i++ {
+			x, y := fourBlockSample(r, 16)
+			if net.Predict(x) == y {
+				correct++
+			}
+		}
+		acc := float64(correct) / nTest
+		t.Logf("%v deep-net accuracy: %.3f", mode, acc)
+		if acc < 0.85 {
+			t.Errorf("%v deep network accuracy %.3f, want >= 0.85", mode, acc)
+		}
+	}
+}
+
+// FA's feedback structure for a deep net: relay (out) + one bank per
+// hidden layer; DFA skips the relay. Matrix shapes follow the chain.
+func TestDeepFeedbackStructure(t *testing.T) {
+	sizes := []int{20, 12, 8, 4}
+	fa := New(func() Config { c := DefaultConfig(sizes...); c.Mode = FA; return c }())
+	dfa := New(func() Config { c := DefaultConfig(sizes...); c.Mode = DFA; return c }())
+
+	// FA: relay 4 + banks 12 + 8 = 24 feedback neurons; DFA: banks only.
+	if got := fa.NumFeedbackNeurons(); got != 4+12+8 {
+		t.Errorf("FA feedback neurons = %d, want 24", got)
+	}
+	if got := dfa.NumFeedbackNeurons(); got != 12+8 {
+		t.Errorf("DFA feedback neurons = %d, want 20", got)
+	}
+
+	// FA chain matrices: b[0] is 12×8 (from bank above), b[1] is 8×4
+	// (from relay). DFA: both read the 4-wide loss layer.
+	if len(fa.b[0]) != 12*8 || len(fa.b[1]) != 8*4 {
+		t.Errorf("FA matrix sizes = %d, %d", len(fa.b[0]), len(fa.b[1]))
+	}
+	if len(dfa.b[0]) != 12*4 || len(dfa.b[1]) != 8*4 {
+		t.Errorf("DFA matrix sizes = %d, %d", len(dfa.b[0]), len(dfa.b[1]))
+	}
+	// The §III-A resource claim for deep nets.
+	if dfa.NumFeedbackWeights() >= fa.NumFeedbackWeights() {
+		t.Errorf("DFA feedback weights %d >= FA %d", dfa.NumFeedbackWeights(), fa.NumFeedbackWeights())
+	}
+}

@@ -1,0 +1,639 @@
+// Package emstdp implements the EMSTDP learning algorithm — the
+// error-modulated, spike-timing-dependent-plasticity approximation of
+// backpropagation that the paper adapts for on-chip learning — in full
+// precision. This is the paper's "Python (FP)" baseline: identical
+// two-phase spiking dynamics to the chip implementation, but float64
+// weights and no hardware constraints.
+//
+// Operation per training sample (§III-B):
+//
+//	Phase 1 (steps 0..T):   the forward network responds to the input and
+//	                        settles at spike counts h.
+//	Phase 2 (steps T..2T):  label neurons fire at the target rate; the
+//	                        spike-based loss (eq 6) feeds error-channel
+//	                        neurons whose signed spikes propagate through
+//	                        fixed random feedback weights (FA or DFA) and
+//	                        are injected into the forward neurons, driving
+//	                        their counts to the targets ĥ.
+//	Update (at 2T):         Δw = η·(ĥ−h)·h_pre (eq 7), using phase-2
+//	                        presynaptic counts — the same quantities the
+//	                        chip's traces hold at the end of phase 2.
+//
+// Counts are normalised by the phase length so the update is in rate
+// units: Δw = η·((ĥ−h)/T)·(h_pre/T).
+package emstdp
+
+import (
+	"fmt"
+
+	"emstdp/internal/rng"
+	"emstdp/internal/snn"
+	"emstdp/internal/spike"
+)
+
+// FeedbackMode selects how errors reach hidden layers (§III-A).
+type FeedbackMode int
+
+const (
+	// FA (feedback alignment) propagates error spikes layer by layer
+	// through fixed random matrices, one error population per hidden
+	// layer.
+	FA FeedbackMode = iota
+	// DFA (direct feedback alignment) broadcasts the output error spikes
+	// straight to every hidden layer through one fixed random matrix per
+	// layer — fewer neurons and far fewer feedback synapses.
+	DFA
+)
+
+// String names the mode as the paper does.
+func (m FeedbackMode) String() string {
+	if m == DFA {
+		return "DFA"
+	}
+	return "FA"
+}
+
+// Config parameterises an EMSTDP network of dense trainable layers.
+type Config struct {
+	// LayerSizes lists neuron counts [input, hidden..., output].
+	LayerSizes []int
+	// T is the phase length in timesteps (the paper uses 64).
+	T int
+	// Eta is the learning rate (the paper uses 2^-3).
+	Eta float64
+	// Mode selects FA or DFA feedback.
+	Mode FeedbackMode
+	// Theta is the forward firing threshold.
+	Theta float64
+	// ThetaErr is the error-channel threshold: the error granularity.
+	ThetaErr float64
+	// WInit scales forward weight init: U(-WInit/√fanIn, +WInit/√fanIn).
+	WInit float64
+	// BInit scales feedback weight init: U(-BInit/√src, +BInit/√src).
+	BInit float64
+	// Inject is the membrane charge (in units of Theta) added per error
+	// spike in phase 2 at the OUTPUT layer. It must exceed 1: error
+	// neurons fire at most once per step, so with gain g the correction
+	// loop can overcome up to (g−1)·θ per step of opposing synaptic
+	// drive; at g=1 a neuron whose weights have drifted negative can
+	// never be pulled back above threshold and its learning deadlocks.
+	Inject float64
+	// InjectHidden is the membrane charge per error spike at hidden
+	// layers. The output loop is closed (errors stop once the rate hits
+	// the target) so it tolerates a high gain; the hidden corrections
+	// are open-loop random projections, and a gain this large would move
+	// hidden rates by multiples of their value per sample, saturating
+	// the layer within tens of samples. Zero selects the default.
+	InjectHidden float64
+	// GateHidden applies the h′ activity gate (eq 4) to hidden error
+	// neurons — the multi-compartment AND of §III-A.
+	GateHidden bool
+	// GateHi is the saturation bound of the shifted-ReLU derivative: a
+	// hidden neuron whose phase-1 count is ≥ GateHi has h′ = 0 and
+	// receives no corrections. Must be well below T: correction
+	// truncation is asymmetric (a rate cannot fall below zero but can
+	// rise toward saturation), and without a tight bound the hidden
+	// rates ratchet upward until the layer's code is saturated and
+	// class-blind. Zero selects the default T/2.
+	GateHi int
+	// WClipK bounds each forward weight to ±WClipK·(WInit/√fanIn) — the
+	// full-precision mirror of the chip's int8 weight range, which clips
+	// at the same multiple via the quantization headroom. Zero disables
+	// clipping.
+	WClipK float64
+	// QuantBits, when nonzero, quantizes every weight to a signed grid
+	// of this many bits spanning ±WClipK·(WInit/√fanIn) after each
+	// update — the precision-ablation knob (the chip is fixed at 8).
+	QuantBits int
+	// TargetHigh and TargetLow are the label-neuron rates for the true
+	// class and the other classes.
+	TargetHigh, TargetLow float64
+	// Seed drives weight initialisation.
+	Seed uint64
+}
+
+// DefaultConfig returns the training hyperparameters used by the
+// experiments for a given topology. The phase length T=64 matches the
+// paper. The paper quotes η = 2⁻³ in the chip's integer count/weight
+// domain; this full-precision implementation normalises counts to rates
+// (dividing by T twice in the update), for which 2⁻⁴ is the equivalent
+// stable setting — see the chipnet package for the integer-domain rule.
+func DefaultConfig(layerSizes ...int) Config {
+	return Config{
+		LayerSizes: layerSizes,
+		T:          64,
+		Eta:        1.0 / 16, // see note above; paper's 2^-3 is integer-domain
+		Mode:       DFA,
+		Theta:      1.0,
+		ThetaErr:   1.0,
+		WInit:      1.0,
+		BInit:      1.0,
+		Inject:     2.0,
+		GateHidden: true,
+		GateHi:     0, // default T/2
+		WClipK:     4,
+		TargetHigh: 0.875,
+		TargetLow:  0.0,
+		Seed:       1,
+	}
+}
+
+// Network is a trainable EMSTDP network.
+type Network struct {
+	cfg Config
+
+	enc      *spike.BiasEncoder
+	labelEnc *spike.BiasEncoder
+	layers   []*snn.IFLayer // trainable dense layers, input-side first
+
+	errOut *snn.ErrChannel // loss-layer error neurons (eq 6)
+	// errHidden holds one gated error-neuron bank per hidden layer (the
+	// two-compartment AND neurons of §III-A), used by both feedback
+	// modes: without the h′ gate, silent hidden neurons receive random
+	// feedback drive they can only integrate upward (their rate is
+	// floored at zero), and the network's activity diverges.
+	errHidden []*snn.ErrChannel
+	// errRelay (FA only) is the one-to-one feedback copy of the output
+	// layer: the original EMSTDP's FA keeps a feedback neuron per
+	// forward neuron, so the loss spikes pass through this relay before
+	// chaining down — one more quantization stage than DFA, which is
+	// exactly why the paper finds DFA slightly more accurate.
+	errRelay *snn.ErrChannel
+	// b holds feedback weights. For DFA, b[i] is hidden_i×out and feeds
+	// output error spikes directly into hidden error bank i. For FA,
+	// b[i] is hidden_i×src where src is the next error population up
+	// (the output relay for the top hidden layer).
+	b [][]float64
+
+	// Per-phase spike counters: pre (encoder) and each layer.
+	encCount       *spike.Counter
+	h1, h2         []*spike.Counter
+	outputDisabled []bool
+	eta            float64
+	quantRNG       *rng.Source // stochastic rounding bits for QuantBits
+}
+
+// New builds an EMSTDP network. LayerSizes must name at least input and
+// output.
+func New(cfg Config) *Network {
+	if len(cfg.LayerSizes) < 2 {
+		panic("emstdp: need at least [input, output] layer sizes")
+	}
+	if cfg.T <= 0 {
+		panic("emstdp: phase length T must be positive")
+	}
+	r := rng.New(cfg.Seed)
+	n := &Network{cfg: cfg, eta: cfg.Eta, quantRNG: rng.New(cfg.Seed ^ 0xabcd1234)}
+	in := cfg.LayerSizes[0]
+	out := cfg.LayerSizes[len(cfg.LayerSizes)-1]
+	n.enc = spike.NewBiasEncoder(in, cfg.Theta)
+	n.labelEnc = spike.NewBiasEncoder(out, cfg.Theta)
+
+	for i := 1; i < len(cfg.LayerSizes); i++ {
+		fanIn := cfg.LayerSizes[i-1]
+		scale := cfg.WInit / sqrtF(fanIn)
+		n.layers = append(n.layers, snn.NewIFLayer(r.Split(), fanIn, cfg.LayerSizes[i], scale, cfg.Theta))
+	}
+
+	n.errOut = snn.NewErrChannel(out, cfg.ThetaErr)
+	nHidden := len(n.layers) - 1
+	n.b = make([][]float64, nHidden)
+	n.errHidden = make([]*snn.ErrChannel, nHidden)
+	if cfg.Mode == FA {
+		n.errRelay = snn.NewErrChannel(out, cfg.ThetaErr)
+	}
+	for i := 0; i < nHidden; i++ {
+		size := cfg.LayerSizes[i+1]
+		n.errHidden[i] = snn.NewErrChannel(size, cfg.ThetaErr)
+		var src int
+		if cfg.Mode == DFA || i == nHidden-1 {
+			src = out // DFA broadcast, or FA top bank reading the relay
+		} else {
+			src = cfg.LayerSizes[i+2] // FA: next hidden error bank up
+		}
+		n.b[i] = make([]float64, size*src)
+		br := r.Split()
+		br.FillUniform(n.b[i], -cfg.BInit/sqrtF(src), cfg.BInit/sqrtF(src))
+	}
+
+	n.encCount = spike.NewCounter(in)
+	for _, l := range n.layers {
+		n.h1 = append(n.h1, spike.NewCounter(l.Out))
+		n.h2 = append(n.h2, spike.NewCounter(l.Out))
+	}
+	n.outputDisabled = make([]bool, out)
+	return n
+}
+
+func sqrtF(n int) float64 {
+	x := float64(n)
+	// Newton iterations are plenty for an init-time constant; avoids
+	// importing math for one call site.
+	if x <= 0 {
+		return 1
+	}
+	g := x
+	for i := 0; i < 40; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+// Config returns the configuration the network was built with.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumWeights returns the count of trainable forward weights.
+func (n *Network) NumWeights() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.W)
+	}
+	return total
+}
+
+// NumFeedbackWeights returns the count of fixed feedback weights — the
+// quantity DFA shrinks relative to FA (§III-A).
+func (n *Network) NumFeedbackWeights() int {
+	total := 0
+	for _, m := range n.b {
+		total += len(m)
+	}
+	return total
+}
+
+// NumFeedbackNeurons returns the count of dedicated feedback-path error
+// neurons. FA's one-to-one output relay makes it strictly larger than
+// DFA for the same topology (§III-A).
+func (n *Network) NumFeedbackNeurons() int {
+	total := 0
+	if n.errRelay != nil {
+		total += n.errRelay.Len()
+	}
+	for _, e := range n.errHidden {
+		total += e.Len()
+	}
+	return total
+}
+
+// Layer exposes trainable layer i (for quantization and inspection).
+func (n *Network) Layer(i int) *snn.IFLayer { return n.layers[i] }
+
+// NumLayers returns the number of trainable layers.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// SetEta overrides the learning rate (incremental learning lowers it
+// during the learn-new-classes step).
+func (n *Network) SetEta(eta float64) { n.eta = eta }
+
+// SetLRReduced toggles the reduced learning rate (η/4) used by the
+// incremental protocol's learn-new step.
+func (n *Network) SetLRReduced(reduced bool) {
+	if reduced {
+		n.eta = n.cfg.Eta / 4
+	} else {
+		n.eta = n.cfg.Eta
+	}
+}
+
+// Eta returns the current learning rate.
+func (n *Network) Eta() float64 { return n.eta }
+
+// SetOutputDisabled marks output neurons as disabled: they produce no
+// error spikes and their incoming weights are frozen. The incremental
+// learning protocol (§IV-B) disables old-class classifier neurons during
+// the learn-new step to approximate the cross-distillation loss.
+func (n *Network) SetOutputDisabled(disabled []bool) {
+	if len(disabled) != len(n.outputDisabled) {
+		panic("emstdp: disabled mask length mismatch")
+	}
+	copy(n.outputDisabled, disabled)
+}
+
+// EnableAllOutputs clears the disabled mask.
+func (n *Network) EnableAllOutputs() {
+	for i := range n.outputDisabled {
+		n.outputDisabled[i] = false
+	}
+}
+
+// reset clears all dynamic state ahead of a new sample.
+func (n *Network) reset() {
+	n.enc.Reset()
+	n.labelEnc.Reset()
+	for _, l := range n.layers {
+		l.Reset()
+	}
+	n.errOut.Reset()
+	if n.errRelay != nil {
+		n.errRelay.Reset()
+	}
+	for _, e := range n.errHidden {
+		e.Reset()
+	}
+	n.encCount.Reset()
+	for i := range n.h1 {
+		n.h1[i].Reset()
+		n.h2[i].Reset()
+	}
+}
+
+// forwardStep advances encoder and all layers one timestep, recording
+// counts into the given counters.
+func (n *Network) forwardStep(encCounter *spike.Counter, layerCounters []*spike.Counter) {
+	s := n.enc.Step()
+	if encCounter != nil {
+		encCounter.Observe(s)
+	}
+	for i, l := range n.layers {
+		s = l.Step(s)
+		if layerCounters != nil {
+			layerCounters[i].Observe(s)
+		}
+	}
+}
+
+// setInput programs the input biases from rates in [0,1].
+func (n *Network) setInput(x []float64) {
+	if len(x) != n.enc.Len() {
+		panic(fmt.Sprintf("emstdp: input size %d, want %d", len(x), n.enc.Len()))
+	}
+	q := spike.QuantizeToPhase(x, n.cfg.T)
+	for i := range q {
+		q[i] *= n.cfg.Theta
+	}
+	n.enc.SetBiases(q)
+}
+
+// Phase1 runs the inference phase and returns output spike counts.
+// State is NOT reset first so callers can inspect; use Predict for plain
+// classification.
+func (n *Network) phase1() {
+	for t := 0; t < n.cfg.T; t++ {
+		n.forwardStep(nil, n.h1)
+	}
+}
+
+// Predict classifies x (rates in [0,1]) with a phase-1 pass, breaking
+// count ties by residual membrane potential.
+func (n *Network) Predict(x []float64) int {
+	counts := n.Counts(x)
+	outLayer := n.layers[len(n.layers)-1]
+	best, bi := -1.0, 0
+	for i, c := range counts {
+		score := float64(c) + outLayer.Potential(i)/n.cfg.Theta
+		if score > best {
+			best, bi = score, i
+		}
+	}
+	return bi
+}
+
+// Counts runs a phase-1 pass and returns the output layer spike counts.
+func (n *Network) Counts(x []float64) []int {
+	n.reset()
+	n.setInput(x)
+	n.phase1()
+	out := make([]int, n.layers[len(n.layers)-1].Out)
+	copy(out, n.h1[len(n.h1)-1].Counts)
+	return out
+}
+
+// HiddenCounts returns the phase-1 spike counts of trainable layer li
+// from the most recent pass — exposed for tests and diagnostics.
+func (n *Network) HiddenCounts(li int) []int { return n.h1[li].Counts }
+
+// TrainSample runs the full two-phase EMSTDP update on one labelled
+// sample. x holds input rates in [0,1]; label is the class index.
+func (n *Network) TrainSample(x []float64, label int) {
+	out := n.layers[len(n.layers)-1].Out
+	if label < 0 || label >= out {
+		panic(fmt.Sprintf("emstdp: label %d out of range [0,%d)", label, out))
+	}
+	n.reset()
+	n.setInput(x)
+
+	// Label biases: the paper inserts the label as bias on the label
+	// neurons, which then fire at the target rate.
+	lb := make([]float64, out)
+	for j := 0; j < out; j++ {
+		rate := n.cfg.TargetLow
+		if j == label {
+			rate = n.cfg.TargetHigh
+		}
+		lb[j] = rate * n.cfg.Theta
+	}
+	n.labelEnc.SetBiases(lb)
+
+	// Phase 1: settle at h.
+	n.phase1()
+
+	// Phase boundary: reset forward membranes so both phases measure the
+	// network from the same initial state. Without this, the encoder and
+	// layer membranes enter phase 2 mid-integration and almost every
+	// active neuron spikes once more in phase 2 than in phase 1 — a
+	// per-sample bias of +1 count that compounds over thousands of
+	// samples into runaway potentiation of the whole layer stack.
+	n.enc.Reset()
+	for _, l := range n.layers {
+		l.Reset()
+	}
+
+	// Phase 2: errors correct the forward rates toward ĥ.
+	outLayer := n.layers[len(n.layers)-1]
+	for t := 0; t < n.cfg.T; t++ {
+		n.forwardStep(n.encCount, n.h2)
+		labelSpikes := n.labelEnc.Step()
+
+		// Loss layer (eq 6): ε accumulates wL·(ŝ − s) with wL = 1.
+		outSpikes := outLayer.Spikes()
+		for j := 0; j < out; j++ {
+			if n.outputDisabled[j] {
+				continue
+			}
+			drive := 0.0
+			if labelSpikes[j] {
+				drive += 1
+			}
+			if outSpikes[j] {
+				drive -= 1
+			}
+			n.errOut.Accumulate(j, drive)
+		}
+		eOut := n.errOut.Step(n.outputGate())
+
+		// Correct the output layer toward the target rate.
+		for j, e := range eOut {
+			if e != 0 {
+				outLayer.Inject(j, float64(e)*n.cfg.Inject*n.cfg.Theta)
+			}
+		}
+
+		// Hidden corrections via FA chain or DFA broadcast.
+		n.propagateHiddenErrors(eOut)
+	}
+
+	n.applyUpdates()
+}
+
+// outputGate suppresses error spikes of disabled output neurons.
+func (n *Network) outputGate() []bool {
+	gate := make([]bool, len(n.outputDisabled))
+	for i, d := range n.outputDisabled {
+		gate[i] = !d
+	}
+	return gate
+}
+
+// propagateHiddenErrors delivers one timestep of error spikes to every
+// hidden layer and injects the corrections.
+func (n *Network) propagateHiddenErrors(eOut []int8) {
+	nHidden := len(n.layers) - 1
+	if nHidden == 0 {
+		return
+	}
+	switch n.cfg.Mode {
+	case DFA:
+		// Direct broadcast: every hidden error bank reads the loss-layer
+		// spikes through its own random matrix.
+		for i := 0; i < nHidden; i++ {
+			n.driveAndInject(i, eOut)
+		}
+	case FA:
+		// The loss spikes first pass through the one-to-one output
+		// relay, then chain down the hidden error banks.
+		for j, e := range eOut {
+			if e != 0 {
+				n.errRelay.Accumulate(j, float64(e)*n.cfg.ThetaErr)
+			}
+		}
+		src := n.errRelay.Step(nil)
+		for i := nHidden - 1; i >= 0; i-- {
+			src = n.driveAndInject(i, src)
+		}
+	}
+}
+
+// driveAndInject accumulates src error spikes into hidden error bank i
+// through its feedback matrix, thresholds the bank, injects corrections
+// into forward layer i, and returns the bank's spikes for FA chaining.
+func (n *Network) driveAndInject(i int, src []int8) []int8 {
+	bank := n.errHidden[i]
+	mat := n.b[i]
+	size := bank.Len()
+	srcN := len(src)
+	for k := 0; k < size; k++ {
+		drive := 0.0
+		row := mat[k*srcN : (k+1)*srcN]
+		for j, e := range src {
+			if e != 0 {
+				drive += float64(e) * row[j]
+			}
+		}
+		if drive != 0 {
+			bank.Accumulate(k, drive)
+		}
+	}
+	var gatePos, gateNeg []bool
+	if n.cfg.GateHidden {
+		gatePos = make([]bool, size)
+		gateNeg = make([]bool, size)
+		h1 := n.h1[i].Counts
+		hi := n.gateHi()
+		for k := 0; k < size; k++ {
+			// h′ of the shifted-ReLU activation (eq 2): upward
+			// corrections only below the saturation bound, downward
+			// corrections for any active neuron.
+			gatePos[k] = h1[k] > 0 && h1[k] < hi
+			gateNeg[k] = h1[k] > 0
+		}
+	}
+	spikes := bank.StepDir(gatePos, gateNeg)
+	layer := n.layers[i]
+	gain := n.injectHidden()
+	for k, e := range spikes {
+		if e != 0 {
+			layer.Inject(k, float64(e)*gain*n.cfg.Theta)
+		}
+	}
+	return spikes
+}
+
+// injectHidden returns the effective hidden correction gain.
+func (n *Network) injectHidden() float64 {
+	if n.cfg.InjectHidden > 0 {
+		return n.cfg.InjectHidden
+	}
+	return 0.5
+}
+
+// gateHi returns the effective shifted-ReLU saturation bound.
+func (n *Network) gateHi() int {
+	if n.cfg.GateHi > 0 {
+		return n.cfg.GateHi
+	}
+	return n.cfg.T / 2
+}
+
+// applyUpdates performs eq (7): Δw = η·(ĥ−h)/T · h_pre/T for every
+// trainable layer, with phase-2 presynaptic counts.
+func (n *Network) applyUpdates() {
+	T := float64(n.cfg.T)
+	for li, layer := range n.layers {
+		var pre []int
+		if li == 0 {
+			pre = n.encCount.Counts
+		} else {
+			pre = n.h2[li-1].Counts
+		}
+		post1 := n.h1[li].Counts
+		post2 := n.h2[li].Counts
+		isOutput := li == len(n.layers)-1
+		for o := 0; o < layer.Out; o++ {
+			if isOutput && n.outputDisabled[o] {
+				continue
+			}
+			delta := float64(post2[o]-post1[o]) / T
+			if delta == 0 {
+				continue
+			}
+			row := layer.W[o*layer.In : (o+1)*layer.In]
+			scale := n.eta * delta / T
+			clip := 0.0
+			if n.cfg.WClipK > 0 {
+				clip = n.cfg.WClipK * n.cfg.WInit / sqrtF(layer.In)
+			}
+			var step float64
+			if n.cfg.QuantBits > 0 && clip > 0 {
+				step = clip / float64(int(1)<<(n.cfg.QuantBits-1))
+			}
+			for k, p := range pre {
+				if p == 0 {
+					continue
+				}
+				w := row[k] + scale*float64(p)
+				if clip > 0 {
+					if w > clip {
+						w = clip
+					} else if w < -clip {
+						w = -clip
+					}
+				}
+				if step > 0 {
+					// Stochastic rounding to the k-bit grid, matching the
+					// chip's learning-engine rounding mode: deterministic
+					// rounding would zero out every sub-step update.
+					q := w / step
+					lo := float64(int64(q))
+					if q < 0 {
+						lo = -float64(int64(-q)) - 1
+					}
+					if n.quantRNG.Float64() < q-lo {
+						lo++
+					}
+					w = lo * step
+				}
+				row[k] = w
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package energy
+
+import (
+	"testing"
+
+	"emstdp/internal/loihi"
+)
+
+// makeCounters builds counters for nSamples of two-phase training with
+// the paper's T=64.
+func makeCounters(nSamples, stepsPerSample int) loihi.Counters {
+	return loihi.Counters{
+		Steps:          int64(nSamples * stepsPerSample),
+		Spikes:         int64(nSamples * stepsPerSample * 50),
+		SynapticEvents: int64(nSamples * stepsPerSample * 2000),
+		LearningOps:    int64(nSamples * 21000),
+	}
+}
+
+func TestLoihiAnalyzeBasics(t *testing.T) {
+	m := DefaultLoihi()
+	c := makeCounters(100, 128)
+	rep := m.Analyze(c, 40, 10, 100, true)
+	if rep.FPS <= 0 || rep.PowerWatts <= 0 || rep.EnergyPerSampleJ <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	// Sanity: with 128 steps of ≥100µs plus overhead, a sample takes
+	// ≥ 19.8ms → FPS below ~51.
+	if rep.FPS > 52 {
+		t.Errorf("training FPS %v implausibly high", rep.FPS)
+	}
+	// Power should be sub-watt (the headline claim).
+	if rep.PowerWatts > 1 {
+		t.Errorf("Loihi power %v W, expected sub-watt", rep.PowerWatts)
+	}
+}
+
+func TestLoihiTrainingSlowerThanInference(t *testing.T) {
+	m := DefaultLoihi()
+	// Training runs 2T steps/sample, inference T.
+	train := m.Analyze(makeCounters(100, 128), 40, 10, 100, true)
+	test := m.Analyze(makeCounters(100, 64), 30, 10, 100, false)
+	if train.FPS >= test.FPS {
+		t.Errorf("training FPS %v >= testing FPS %v", train.FPS, test.FPS)
+	}
+	if train.EnergyPerSampleJ <= test.EnergyPerSampleJ {
+		t.Errorf("training energy %v <= testing energy %v", train.EnergyPerSampleJ, test.EnergyPerSampleJ)
+	}
+}
+
+// Fig 3 mechanism: sweeping neurons/core trades time against power and
+// produces a U-shaped energy curve.
+func TestLoihiPackingUShape(t *testing.T) {
+	m := DefaultLoihi()
+	const neurons = 341 // dense-part neurons of the MNIST net
+	c := makeCounters(100, 128)
+	var energies []float64
+	var times []float64
+	var powers []float64
+	for per := 2; per <= 60; per += 2 {
+		cores := (neurons + per - 1) / per
+		rep := m.Analyze(c, cores, per, 100, true)
+		energies = append(energies, rep.EnergyPerSampleJ)
+		times = append(times, rep.TimeSeconds)
+		powers = append(powers, rep.PowerWatts)
+	}
+	// Time increases, power decreases monotonically.
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("time not increasing at index %d", i)
+		}
+		if powers[i] > powers[i-1]+1e-9 {
+			t.Fatalf("power not decreasing at index %d", i)
+		}
+	}
+	// Energy is U-shaped: the minimum is strictly inside the sweep.
+	minIdx := 0
+	for i, e := range energies {
+		if e < energies[minIdx] {
+			minIdx = i
+		}
+	}
+	if minIdx == 0 || minIdx == len(energies)-1 {
+		t.Errorf("energy minimum at sweep edge (index %d): no U-shape", minIdx)
+	}
+}
+
+func TestDeviceAnalyze(t *testing.T) {
+	cpu := I78700()
+	macs := NetworkMACs(ConvMACs(16, 12, 12, 1, 5, 5)+ConvMACs(8, 5, 5, 16, 3, 3), []int{200, 100, 10})
+	train := cpu.Analyze(macs, true)
+	test := cpu.Analyze(macs, false)
+	if train.FPS >= test.FPS {
+		t.Errorf("CPU training FPS %v >= testing %v", train.FPS, test.FPS)
+	}
+	if train.EnergyPerSampleJ <= test.EnergyPerSampleJ {
+		t.Error("CPU training energy should exceed testing energy")
+	}
+	if test.PowerWatts != 58 {
+		t.Errorf("CPU power = %v", test.PowerWatts)
+	}
+}
+
+// The headline claim of Table II: Loihi's energy per image is orders of
+// magnitude below CPU and GPU, for both training and testing.
+func TestLoihiEnergyAdvantage(t *testing.T) {
+	m := DefaultLoihi()
+	macs := NetworkMACs(ConvMACs(16, 12, 12, 1, 5, 5)+ConvMACs(8, 5, 5, 16, 3, 3), []int{200, 100, 10})
+	for _, train := range []bool{true, false} {
+		// Inference deploys without the backward path (§IV-A2), so it
+		// occupies roughly half the cores and runs one phase per sample.
+		steps, cores := 64, 20
+		if train {
+			steps, cores = 128, 40
+		}
+		lo := m.Analyze(makeCounters(100, steps), cores, 10, 100, train)
+		for _, dev := range []Device{I78700(), RTX5000()} {
+			dr := dev.Analyze(macs, train)
+			ratio := dr.EnergyPerSampleJ / lo.EnergyPerSampleJ
+			if ratio < 4 {
+				t.Errorf("train=%v %s: energy ratio %.1f, want Loihi at least 4x better",
+					train, dev.Name, ratio)
+			}
+		}
+	}
+}
+
+func TestNetworkMACs(t *testing.T) {
+	if got := NetworkMACs(0, []int{10, 5, 2}); got != 60 {
+		t.Errorf("dense MACs = %v, want 60", got)
+	}
+	if got := ConvMACs(2, 3, 3, 1, 2, 2); got != 2*9*4 {
+		t.Errorf("conv MACs = %d", got)
+	}
+}
+
+func TestAnalyzeZeroSamples(t *testing.T) {
+	m := DefaultLoihi()
+	rep := m.Analyze(loihi.Counters{}, 0, 0, 0, false)
+	if rep.FPS != 0 || rep.EnergyPerSampleJ != 0 {
+		t.Errorf("zero-sample report should be zeroed: %+v", rep)
+	}
+}

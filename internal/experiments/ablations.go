@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emstdp/internal/core"
+	"emstdp/internal/dataset"
+	"emstdp/internal/emstdp"
+)
+
+// AblationResult is one accuracy measurement of a design-choice sweep.
+type AblationResult struct {
+	Study    string // which knob
+	Value    string // the knob's setting
+	Accuracy float64
+}
+
+// buildFeatures builds a shared feature extraction front end for the
+// ablations so every variant sees identical inputs.
+func buildFeatures(sc Scale, seed uint64) (*core.Model, error) {
+	return core.Build(core.Options{
+		Dataset:        dataset.MNIST,
+		Backend:        core.FP,
+		TrainSamples:   sc.TrainSamples,
+		TestSamples:    sc.TestSamples,
+		PretrainEpochs: sc.PretrainEpochs,
+		Seed:           seed,
+	})
+}
+
+// runVariant trains a fresh reference network with cfg on the shared
+// features and returns its test accuracy.
+func runVariant(m *core.Model, cfg emstdp.Config, epochs int) float64 {
+	net := emstdp.New(cfg)
+	for e := 0; e < epochs; e++ {
+		for _, s := range m.TrainFeatures() {
+			net.TrainSample(s.X, s.Y)
+		}
+	}
+	correct := 0
+	for _, s := range m.TestFeatures() {
+		if net.Predict(s.X) == s.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(m.TestFeatures()))
+}
+
+// Ablations sweeps the design choices DESIGN.md calls out on the MNIST
+// task: the h′ gate, the phase length T (§IV-A2's quality/throughput
+// trade), and the synaptic weight precision (the source of the paper's
+// Loihi-vs-FP accuracy gap).
+func Ablations(sc Scale, seed uint64, progress io.Writer) ([]AblationResult, error) {
+	m, err := buildFeatures(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	base := func() emstdp.Config {
+		cfg := emstdp.DefaultConfig(m.Conv.OutSize(), 100, m.DS.NumClasses)
+		cfg.Seed = seed + 3
+		return cfg
+	}
+	var results []AblationResult
+	record := func(study, value string, acc float64) {
+		results = append(results, AblationResult{Study: study, Value: value, Accuracy: acc})
+		if progress != nil {
+			fmt.Fprintf(progress, "ablation %-12s %-6s %.1f%%\n", study, value, acc*100)
+		}
+	}
+
+	// h′ gating (the multi-compartment AND, §III-A).
+	for _, gate := range []bool{true, false} {
+		cfg := base()
+		cfg.GateHidden = gate
+		record("gate", fmt.Sprintf("%v", gate), runVariant(m, cfg, sc.Epochs))
+	}
+
+	// Phase length T (§IV-A2): throughput scales 1/T, quality rises
+	// with T as rates quantize more finely.
+	for _, T := range []int{16, 32, 64, 128} {
+		cfg := base()
+		cfg.T = T
+		record("phaseLen", fmt.Sprintf("T=%d", T), runVariant(m, cfg, sc.Epochs))
+	}
+
+	// Weight precision: k-bit grids with stochastic rounding; 0 = full
+	// precision. The chip is fixed at 8.
+	for _, bits := range []int{4, 6, 8, 0} {
+		cfg := base()
+		cfg.QuantBits = bits
+		name := fmt.Sprintf("%d-bit", bits)
+		if bits == 0 {
+			name = "float64"
+		}
+		record("precision", name, runVariant(m, cfg, sc.Epochs))
+	}
+
+	// Feedback mode on identical features.
+	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
+		cfg := base()
+		cfg.Mode = mode
+		record("feedback", mode.String(), runVariant(m, cfg, sc.Epochs))
+	}
+	return results, nil
+}
+
+// PrintAblations renders the sweep grouped by study.
+func PrintAblations(w io.Writer, results []AblationResult) {
+	fmt.Fprintln(w, "ABLATIONS (MNIST, full-precision reference, shared features)")
+	last := ""
+	for _, r := range results {
+		if r.Study != last {
+			fmt.Fprintf(w, "%s:\n", r.Study)
+			last = r.Study
+		}
+		fmt.Fprintf(w, "  %-10s %.1f%%\n", r.Value, r.Accuracy*100)
+	}
+}

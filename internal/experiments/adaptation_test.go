@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// The §I adaptation claim: after device drift, continued in-hardware
+// learning recovers accuracy that a frozen deployment cannot.
+func TestAdaptationRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sc := Scale{TrainSamples: 400, TestSamples: 150, Epochs: 1, PretrainEpochs: 1}
+	res, err := Adaptation(sc, 25, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trained %.3f, drifted %.3f, frozen %.3f, adapted %.3f",
+		res.BeforeDrift, res.AfterDrift, res.FrozenAfterStream, res.AdaptedAfterStream)
+	if res.AfterDrift >= res.BeforeDrift-0.02 {
+		t.Errorf("drift sd=25 barely degraded accuracy (%.3f -> %.3f): experiment vacuous",
+			res.BeforeDrift, res.AfterDrift)
+	}
+	if res.AdaptedAfterStream <= res.FrozenAfterStream+0.03 {
+		t.Errorf("online learning did not recover: frozen %.3f, adapted %.3f",
+			res.FrozenAfterStream, res.AdaptedAfterStream)
+	}
+	if res.AdaptedAfterStream < res.BeforeDrift-0.15 {
+		t.Errorf("adapted accuracy %.3f far below original %.3f",
+			res.AdaptedAfterStream, res.BeforeDrift)
+	}
+}

@@ -1,0 +1,322 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV): Table I (accuracy), Table II (power and energy),
+// Fig 3 (the neurons-per-core mapping trade-off) and Fig 4 (incremental
+// online learning). Each experiment returns structured results and can
+// print them in the paper's layout; cmd/experiments and the root
+// benchmark suite are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emstdp/internal/chipnet"
+	"emstdp/internal/core"
+	"emstdp/internal/dataset"
+	"emstdp/internal/emstdp"
+	"emstdp/internal/energy"
+	"emstdp/internal/incremental"
+)
+
+// Scale sizes an experiment run. Quick keeps unit-test and bench
+// runtimes modest; Full approaches the paper's sample counts.
+type Scale struct {
+	TrainSamples   int
+	TestSamples    int
+	Epochs         int
+	PretrainEpochs int
+	// EnergySamples is the number of training/testing samples simulated
+	// to collect activity counters for Table II / Fig 3.
+	EnergySamples int
+}
+
+// QuickScale returns a minutes-scale configuration.
+func QuickScale() Scale {
+	return Scale{TrainSamples: 600, TestSamples: 200, Epochs: 1, PretrainEpochs: 2, EnergySamples: 20}
+}
+
+// FullScale returns the configuration used for the committed
+// EXPERIMENTS.md numbers.
+func FullScale() Scale {
+	return Scale{TrainSamples: 2000, TestSamples: 500, Epochs: 2, PretrainEpochs: 3, EnergySamples: 50}
+}
+
+// Table1Row is one cell group of Table I.
+type Table1Row struct {
+	Dataset  dataset.Kind
+	Mode     emstdp.FeedbackMode
+	Backend  core.Backend
+	Accuracy float64
+}
+
+// Table1 trains every (dataset, mode, backend) combination and returns
+// the accuracy grid in the paper's row order.
+func Table1(sc Scale, seed uint64, progress io.Writer) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, ds := range []dataset.Kind{dataset.MNIST, dataset.FashionMNIST, dataset.MSTAR, dataset.CIFAR10} {
+		for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
+			for _, backend := range []core.Backend{core.Chip, core.FP} {
+				m, err := core.Build(core.Options{
+					Dataset:        ds,
+					Backend:        backend,
+					Mode:           mode,
+					TrainSamples:   sc.TrainSamples,
+					TestSamples:    sc.TestSamples,
+					PretrainEpochs: sc.PretrainEpochs,
+					Seed:           seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("table1 %v/%v/%v: %w", ds, mode, backend, err)
+				}
+				m.Train(sc.Epochs)
+				acc := m.Evaluate().Accuracy()
+				rows = append(rows, Table1Row{Dataset: ds, Mode: mode, Backend: backend, Accuracy: acc})
+				if progress != nil {
+					fmt.Fprintf(progress, "table1: %-18s %-3s %-11s %.1f%%\n", ds, mode, backend, acc*100)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders rows in the paper's Table I layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	get := func(ds dataset.Kind, mode emstdp.FeedbackMode, b core.Backend) float64 {
+		for _, r := range rows {
+			if r.Dataset == ds && r.Mode == mode && r.Backend == b {
+				return r.Accuracy
+			}
+		}
+		return -1
+	}
+	fmt.Fprintln(w, "TABLE I: Performance")
+	fmt.Fprintf(w, "%-20s | %8s %12s | %8s %12s\n", "", "Loihi", "Python (FP)", "Loihi", "Python (FP)")
+	fmt.Fprintf(w, "%-20s | %22s | %22s\n", "", "FA", "DFA")
+	fmt.Fprintln(w, "---------------------+------------------------+-----------------------")
+	for _, ds := range []dataset.Kind{dataset.MNIST, dataset.FashionMNIST, dataset.MSTAR, dataset.CIFAR10} {
+		fmt.Fprintf(w, "%-20s | %7.1f%% %11.1f%% | %7.1f%% %11.1f%%\n", ds,
+			get(ds, emstdp.FA, core.Chip)*100, get(ds, emstdp.FA, core.FP)*100,
+			get(ds, emstdp.DFA, core.Chip)*100, get(ds, emstdp.DFA, core.FP)*100)
+	}
+}
+
+// Table2Row is one platform row of Table II for one mode.
+type Table2Row struct {
+	Platform string
+	Train    energy.DeviceReport
+	Test     energy.DeviceReport
+}
+
+// Table2 measures the chip's activity on the MNIST network and evaluates
+// the platform models. The Loihi rows come from simulator counters
+// (training deployment and a separate inference-only deployment, as the
+// paper does); the CPU/GPU rows come from the analytic batch-1 models on
+// the same network's MAC count.
+func Table2(sc Scale, seed uint64) ([]Table2Row, error) {
+	m, err := core.Build(core.Options{
+		Dataset:        dataset.MNIST,
+		Backend:        core.Chip,
+		ConvOnChip:     true,
+		TrainSamples:   maxInt(sc.EnergySamples, 10),
+		TestSamples:    maxInt(sc.EnergySamples, 10),
+		PretrainEpochs: 1,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net := m.ChipNetwork()
+
+	model := energy.DefaultLoihi()
+
+	// Training measurement.
+	net.Chip().ResetCounters()
+	for i := 0; i < sc.EnergySamples; i++ {
+		s := m.DS.Train[i%len(m.DS.Train)]
+		net.TrainSample(s.Image.Data, s.Label)
+	}
+	trainRep := model.Analyze(net.Chip().Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+
+	// Inference-only deployment (backward paths not implemented, §IV-A2).
+	infCfg := chipnet.DefaultConfig(append([]int{m.Conv.OutSize()}, 100, m.DS.NumClasses)...)
+	infCfg.InferenceOnly = true
+	infCfg.Seed = seed + 3
+	inf, err := chipnet.NewWithConv(infCfg, m.Conv, m.DS.C, m.DS.H, m.DS.W)
+	if err != nil {
+		return nil, err
+	}
+	inf.Chip().ResetCounters()
+	for i := 0; i < sc.EnergySamples; i++ {
+		inf.Predict(m.DS.Test[i%len(m.DS.Test)].Image.Data)
+	}
+	testRep := model.Analyze(inf.Chip().Counters(), inf.CoresUsed(), inf.MaxPlasticNeuronsPerCore(), sc.EnergySamples, false)
+
+	macs := energy.NetworkMACs(
+		energy.ConvMACs(16, m.Conv.Conv1.OutH, m.Conv.Conv1.OutW, m.DS.C, 5, 5)+
+			energy.ConvMACs(8, m.Conv.Conv2.OutH, m.Conv.Conv2.OutW, 16, 3, 3),
+		[]int{m.Conv.OutSize(), 100, m.DS.NumClasses})
+
+	rows := make([]Table2Row, 0, 3)
+	for _, dev := range []energy.Device{energy.I78700(), energy.RTX5000()} {
+		rows = append(rows, Table2Row{
+			Platform: dev.Name,
+			Train:    dev.Analyze(macs, true),
+			Test:     dev.Analyze(macs, false),
+		})
+	}
+	rows = append(rows, Table2Row{
+		Platform: "Loihi",
+		Train: energy.DeviceReport{
+			Name: "Loihi", FPS: trainRep.FPS, PowerWatts: trainRep.PowerWatts,
+			EnergyPerSampleJ: trainRep.EnergyPerSampleJ,
+		},
+		Test: energy.DeviceReport{
+			Name: "Loihi", FPS: testRep.FPS, PowerWatts: testRep.PowerWatts,
+			EnergyPerSampleJ: testRep.EnergyPerSampleJ,
+		},
+	})
+	return rows, nil
+}
+
+// PrintTable2 renders rows in the paper's Table II layout.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "TABLE II: Power and Energy")
+	fmt.Fprintf(w, "%-10s | %8s %9s %14s | %8s %9s %14s\n",
+		"", "FPS", "Power(W)", "Energy(mJ/img)", "FPS", "Power(W)", "Energy(mJ/img)")
+	fmt.Fprintf(w, "%-10s | %33s | %33s\n", "", "Training", "Testing")
+	fmt.Fprintln(w, "-----------+-----------------------------------+----------------------------------")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %8.0f %9.2f %14.2f | %8.0f %9.2f %14.2f\n",
+			r.Platform,
+			r.Train.FPS, r.Train.PowerWatts, r.Train.EnergyPerSampleJ*1e3,
+			r.Test.FPS, r.Test.PowerWatts, r.Test.EnergyPerSampleJ*1e3)
+	}
+}
+
+// Fig3Point is one x-position of Fig 3 for one feedback mode.
+type Fig3Point struct {
+	Mode            emstdp.FeedbackMode
+	NeuronsPerCore  int
+	Cores           int
+	TimeFor10k      float64 // seconds to train 10000 samples
+	PowerWatts      float64
+	EnergyPerSample float64 // J
+}
+
+// Fig3 sweeps the neurons-per-core packing for both feedback modes,
+// measuring activity over sc.EnergySamples training samples and scaling
+// to the paper's 10000-sample training run.
+func Fig3(sc Scale, seed uint64) ([]Fig3Point, error) {
+	var points []Fig3Point
+	model := energy.DefaultLoihi()
+	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
+		for per := 5; per <= 30; per += 5 {
+			m, err := core.Build(core.Options{
+				Dataset:        dataset.MNIST,
+				Backend:        core.Chip,
+				Mode:           mode,
+				ConvOnChip:     true,
+				NeuronsPerCore: per,
+				TrainSamples:   maxInt(sc.EnergySamples, 10),
+				TestSamples:    10,
+				PretrainEpochs: 1,
+				Seed:           seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			net := m.ChipNetwork()
+			net.Chip().ResetCounters()
+			for i := 0; i < sc.EnergySamples; i++ {
+				s := m.DS.Train[i%len(m.DS.Train)]
+				net.TrainSample(s.Image.Data, s.Label)
+			}
+			rep := model.Analyze(net.Chip().Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+			points = append(points, Fig3Point{
+				Mode:            mode,
+				NeuronsPerCore:  per,
+				Cores:           rep.CoresUsed,
+				TimeFor10k:      rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
+				PowerWatts:      rep.PowerWatts,
+				EnergyPerSample: rep.EnergyPerSampleJ,
+			})
+		}
+	}
+	return points, nil
+}
+
+// PrintFig3 renders the sweep as the series plotted in Fig 3.
+func PrintFig3(w io.Writer, points []Fig3Point) {
+	fmt.Fprintln(w, "FIG 3: neurons/core trade-off (training, 10000 samples)")
+	fmt.Fprintf(w, "%-4s %-8s | %8s %12s %12s %18s\n",
+		"mode", "n/core", "cores", "time (s)", "power (W)", "energy (mJ/sample)")
+	fmt.Fprintln(w, "--------------+-----------------------------------------------------")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-4s %-8d | %8d %12.0f %12.3f %18.2f\n",
+			p.Mode, p.NeuronsPerCore, p.Cores, p.TimeFor10k, p.PowerWatts, p.EnergyPerSample*1e3)
+	}
+}
+
+// Fig4Result carries the incremental-online-learning series plus the
+// jointly-trained baseline.
+type Fig4Result struct {
+	Rounds   []incremental.RoundResult
+	Baseline float64
+}
+
+// Fig4 runs the paper's incremental protocol on the MNIST task with the
+// FP backend (the paper demonstrates on the same network used in §IV-A).
+func Fig4(sc Scale, seed uint64) (*Fig4Result, error) {
+	build := func() (*core.Model, error) {
+		return core.Build(core.Options{
+			Dataset:        dataset.MNIST,
+			Backend:        core.FP,
+			TrainSamples:   sc.TrainSamples,
+			TestSamples:    sc.TestSamples,
+			PretrainEpochs: sc.PretrainEpochs,
+			Seed:           seed,
+		})
+	}
+	m, err := build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := incremental.DefaultConfig(seed + 10)
+	cfg.PretrainEpochs = sc.Epochs + 1
+	rounds, err := incremental.Run(m, m.TrainFeatures(), m.TestFeatures(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	base, err := build()
+	if err != nil {
+		return nil, err
+	}
+	baseline := incremental.Baseline(base, base.TrainFeatures(), base.TestFeatures(),
+		base.DS.NumClasses, sc.Epochs+1, seed+11)
+
+	return &Fig4Result{Rounds: rounds, Baseline: baseline}, nil
+}
+
+// PrintFig4 renders the round series of Fig 4.
+func PrintFig4(w io.Writer, res *Fig4Result) {
+	fmt.Fprintln(w, "FIG 4: Incremental Online Learning (MNIST)")
+	fmt.Fprintf(w, "baseline (joint training): %.1f%%\n", res.Baseline*100)
+	fmt.Fprintf(w, "%-6s %-9s %-12s %-12s %s\n", "round", "new?", "after step1", "after step2", "observed classes")
+	for _, r := range res.Rounds {
+		mark := ""
+		if r.NewClassesIntroduced {
+			mark = "  <- +2 classes"
+		}
+		fmt.Fprintf(w, "%-6d %-9v %11.1f%% %11.1f%% %d%s\n",
+			r.Round, r.NewClassesIntroduced, r.AfterStep1*100, r.AfterStep2*100, len(r.Observed), mark)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

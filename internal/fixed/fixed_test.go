@@ -1,0 +1,201 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSatAdd32(t *testing.T) {
+	tests := []struct {
+		a, b, min, max, want int32
+	}{
+		{1, 2, -10, 10, 3},
+		{9, 5, -10, 10, 10},
+		{-9, -5, -10, 10, -10},
+		{math.MaxInt32, math.MaxInt32, math.MinInt32, math.MaxInt32, math.MaxInt32},
+		{math.MinInt32, math.MinInt32, math.MinInt32, math.MaxInt32, math.MinInt32},
+		{0, 0, -1, 1, 0},
+	}
+	for _, tt := range tests {
+		if got := SatAdd32(tt.a, tt.b, tt.min, tt.max); got != tt.want {
+			t.Errorf("SatAdd32(%d,%d,%d,%d) = %d, want %d", tt.a, tt.b, tt.min, tt.max, got, tt.want)
+		}
+	}
+}
+
+func TestSatState(t *testing.T) {
+	if got := SatState(int64(StateMax) + 1); got != StateMax {
+		t.Errorf("SatState(max+1) = %d, want %d", got, StateMax)
+	}
+	if got := SatState(int64(StateMin) - 1); got != StateMin {
+		t.Errorf("SatState(min-1) = %d, want %d", got, StateMin)
+	}
+	if got := SatState(42); got != 42 {
+		t.Errorf("SatState(42) = %d", got)
+	}
+}
+
+func TestSatWeight(t *testing.T) {
+	if got := SatWeight(200); got != 127 {
+		t.Errorf("SatWeight(200) = %d, want 127", got)
+	}
+	if got := SatWeight(-200); got != -128 {
+		t.Errorf("SatWeight(-200) = %d, want -128", got)
+	}
+	if got := SatWeight(-5); got != -5 {
+		t.Errorf("SatWeight(-5) = %d", got)
+	}
+}
+
+func TestSatTrace(t *testing.T) {
+	if got := SatTrace(300); got != 127 {
+		t.Errorf("SatTrace(300) = %d, want 127", got)
+	}
+	if got := SatTrace(-1); got != 0 {
+		t.Errorf("SatTrace(-1) = %d, want 0", got)
+	}
+	if got := SatTrace(64); got != 64 {
+		t.Errorf("SatTrace(64) = %d", got)
+	}
+}
+
+func TestRoundShift(t *testing.T) {
+	tests := []struct {
+		v    int64
+		s    uint
+		want int64
+	}{
+		{8, 3, 1},
+		{7, 3, 1}, // 7/8 = 0.875 rounds to 1
+		{3, 3, 0}, // 3/8 = 0.375 rounds to 0
+		{4, 3, 1}, // tie rounds away from zero
+		{-8, 3, -1},
+		{-7, 3, -1},
+		{-3, 3, 0},
+		{-4, 3, -1}, // negative tie away from zero
+		{100, 0, 100},
+		{0, 5, 0},
+	}
+	for _, tt := range tests {
+		if got := RoundShift(tt.v, tt.s); got != tt.want {
+			t.Errorf("RoundShift(%d,%d) = %d, want %d", tt.v, tt.s, got, tt.want)
+		}
+	}
+}
+
+// RoundShift must be symmetric: shifting -v gives -(shift of v). Plain
+// arithmetic shift violates this and biases EMSTDP updates downward.
+func TestRoundShiftSymmetry(t *testing.T) {
+	f := func(v int32, s uint8) bool {
+		sh := uint(s % 16)
+		return RoundShift(int64(v), sh) == -RoundShift(int64(-v), sh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// RoundShift error is at most half a quantum.
+func TestRoundShiftBoundedError(t *testing.T) {
+	f := func(v int32, s uint8) bool {
+		sh := uint(s%12 + 1)
+		got := float64(RoundShift(int64(v), sh))
+		exact := float64(v) / float64(int64(1)<<sh)
+		return math.Abs(got-exact) <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewQuantizerFitsMax(t *testing.T) {
+	for _, maxAbs := range []float64{0.001, 0.5, 1, 3.7, 100, 12000} {
+		q := NewQuantizer(maxAbs)
+		m := q.Quantize(maxAbs)
+		if m != WeightMax && math.Abs(q.Dequantize(m)-maxAbs) > q.Scale() {
+			t.Errorf("maxAbs=%v exp=%d: quantized %d dequantizes to %v", maxAbs, q.Exp, m, q.Dequantize(m))
+		}
+		// One exponent lower must clip.
+		lower := Quantizer{Exp: q.Exp - 1}
+		if maxAbs/lower.Scale() <= WeightMax {
+			t.Errorf("maxAbs=%v: exponent %d not minimal", maxAbs, q.Exp)
+		}
+	}
+}
+
+func TestNewQuantizerDegenerate(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		q := NewQuantizer(bad)
+		if q.Scale() <= 0 || math.IsNaN(q.Scale()) {
+			t.Errorf("NewQuantizer(%v) gave unusable scale %v", bad, q.Scale())
+		}
+	}
+}
+
+// Quantization round-trip error is bounded by half a scale step for
+// in-range weights.
+func TestQuantizeRoundTripError(t *testing.T) {
+	f := func(w float64) bool {
+		if math.IsNaN(w) || math.Abs(w) > 1e6 {
+			return true
+		}
+		q := NewQuantizer(1e6)
+		back := q.Dequantize(q.Quantize(w))
+		return math.Abs(back-w) <= q.Scale()/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSlice(t *testing.T) {
+	ws := []float64{-1.5, 0, 0.25, 1.5}
+	ms, q := QuantizeSlice(ws)
+	if len(ms) != len(ws) {
+		t.Fatalf("len = %d", len(ms))
+	}
+	for i, w := range ws {
+		back := q.Dequantize(ms[i])
+		if math.Abs(back-w) > q.Scale()/2+1e-12 {
+			t.Errorf("ws[%d]=%v -> %d -> %v (scale %v)", i, w, ms[i], back, q.Scale())
+		}
+	}
+}
+
+func TestQuantizeSliceAllZero(t *testing.T) {
+	ms, q := QuantizeSlice([]float64{0, 0, 0})
+	for _, m := range ms {
+		if m != 0 {
+			t.Errorf("zero weight quantized to %d", m)
+		}
+	}
+	if q.Scale() <= 0 {
+		t.Errorf("scale %v", q.Scale())
+	}
+}
+
+func TestQuantizeBits(t *testing.T) {
+	// 4-bit: range [-8, 7]
+	if got := QuantizeBits(100, 4, 1); got != 7 {
+		t.Errorf("QuantizeBits(100,4,1) = %d, want 7", got)
+	}
+	if got := QuantizeBits(-100, 4, 1); got != -8 {
+		t.Errorf("QuantizeBits(-100,4,1) = %d, want -8", got)
+	}
+	if got := QuantizeBits(0.5, 4, 0.25); got != 2 {
+		t.Errorf("QuantizeBits(0.5,4,0.25) = %d, want 2", got)
+	}
+	if got := QuantizeBits(3, 1, 1); got != 1 {
+		t.Errorf("QuantizeBits with bits<2 should clamp to 2 bits, got %d", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt wrong")
+	}
+	if ClampF(5, 0, 3) != 3 || ClampF(-1, 0, 3) != 0 || ClampF(2, 0, 3) != 2 {
+		t.Error("ClampF wrong")
+	}
+}

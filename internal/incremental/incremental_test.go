@@ -1,0 +1,139 @@
+package incremental
+
+import (
+	"testing"
+
+	"emstdp/internal/emstdp"
+	"emstdp/internal/metrics"
+	"emstdp/internal/rng"
+)
+
+// blockTask builds an easy nClass-way task: class c lights input block c.
+func blockTask(r *rng.Source, nClass, dim, n int) []metrics.Sample {
+	block := dim / nClass
+	out := make([]metrics.Sample, n)
+	for i := range out {
+		y := i % nClass
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = 0.05 + r.Uniform(0, 0.05)
+			if j/block == y {
+				x[j] = 0.65 + r.Uniform(-0.05, 0.05)
+			}
+		}
+		out[i] = metrics.Sample{X: x, Y: y}
+	}
+	return out
+}
+
+func newLearner(seed uint64) *emstdp.Network {
+	cfg := emstdp.DefaultConfig(60, 32, 6)
+	cfg.Seed = seed
+	return emstdp.New(cfg)
+}
+
+func protocol() Config {
+	return Config{
+		NumClasses:     6,
+		Initial:        []int{0, 1},
+		Increments:     [][]int{{2, 3}, {4, 5}},
+		Rounds:         3,
+		PretrainEpochs: 2,
+		Seed:           9,
+	}
+}
+
+func TestRunShapeAndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := rng.New(5)
+	train := blockTask(r, 6, 60, 600)
+	test := blockTask(r, 6, 60, 300)
+	l := newLearner(3)
+	results, err := Run(l, train, test, protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1+2*3 {
+		t.Fatalf("got %d results, want 7", len(results))
+	}
+	if results[0].Round != 0 || len(results[0].Observed) != 2 {
+		t.Errorf("round 0 malformed: %+v", results[0])
+	}
+	// Pretraining on an easy 2-class task must work well.
+	if results[0].AfterStep2 < 0.8 {
+		t.Errorf("pretrain accuracy %.3f too low", results[0].AfterStep2)
+	}
+	// Introduction rounds are flagged correctly.
+	if !results[1].NewClassesIntroduced || results[2].NewClassesIntroduced {
+		t.Error("introduction flags wrong")
+	}
+	// Observed classes grow.
+	if len(results[1].Observed) != 4 || len(results[4].Observed) != 6 {
+		t.Errorf("observed growth wrong: %d then %d", len(results[1].Observed), len(results[4].Observed))
+	}
+	// The drop-and-recover shape: accuracy at the end of an increment is
+	// at least the accuracy at its first round (non-strict: on a task
+	// this easy the protocol may never drop at all; the full Fig 4 shape
+	// is exercised by the fig4 experiment on the digits task).
+	if results[3].AfterStep2 < results[1].AfterStep2-0.02 {
+		t.Errorf("no recovery within increment 1: %.3f -> %.3f",
+			results[1].AfterStep2, results[3].AfterStep2)
+	}
+	// Final accuracy over all classes is well above chance (1/6).
+	final := results[len(results)-1].AfterStep2
+	t.Logf("final incremental accuracy: %.3f", final)
+	if final < 0.5 {
+		t.Errorf("final accuracy %.3f too low", final)
+	}
+}
+
+func TestStep2HelpsOrHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := rng.New(6)
+	train := blockTask(r, 6, 60, 600)
+	test := blockTask(r, 6, 60, 300)
+	l := newLearner(4)
+	results, err := Run(l, train, test, protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 2 (replay with old classes) should on average not hurt
+	// relative to step 1.
+	sum1, sum2 := 0.0, 0.0
+	for _, res := range results[1:] {
+		sum1 += res.AfterStep1
+		sum2 += res.AfterStep2
+	}
+	if sum2 < sum1-0.05*float64(len(results)-1) {
+		t.Errorf("replay consistently hurts: step1 mean %.3f, step2 mean %.3f",
+			sum1/float64(len(results)-1), sum2/float64(len(results)-1))
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := rng.New(7)
+	train := blockTask(r, 6, 60, 600)
+	test := blockTask(r, 6, 60, 300)
+	acc := Baseline(newLearner(5), train, test, 6, 2, 11)
+	t.Logf("baseline accuracy: %.3f", acc)
+	if acc < 0.8 {
+		t.Errorf("baseline accuracy %.3f too low for an easy task", acc)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	l := newLearner(1)
+	if _, err := Run(l, nil, nil, Config{Rounds: 0, Initial: []int{0}}); err == nil {
+		t.Error("expected error for zero rounds")
+	}
+	if _, err := Run(l, nil, nil, Config{Rounds: 1}); err == nil {
+		t.Error("expected error for no initial classes")
+	}
+}

@@ -1,0 +1,160 @@
+package loihi
+
+import "emstdp/internal/fixed"
+
+// Var names a learning-engine input variable — the locally available
+// quantities of eq (9): synaptic traces and variables visible at one
+// synapse.
+type Var int
+
+const (
+	// VarOne is the constant 1 (products with no variable dependence).
+	VarOne Var = iota
+	// VarX1 is the presynaptic trace (EMSTDP: phase-2 pre spike count).
+	VarX1
+	// VarY1 is the postsynaptic trace (EMSTDP: phase-2 post count ĥ).
+	VarY1
+	// VarTag is the synaptic tag (EMSTDP: Z = ĥ + h across both phases).
+	VarTag
+	// VarW is the current weight mantissa.
+	VarW
+)
+
+// Factor is one multiplicand (V + C) of a product term.
+type Factor struct {
+	V Var
+	C int64
+}
+
+// Product is S · Π(Vi + Ci) >> Shift, rounded. Scale S is a signed
+// microcode constant; Shift implements power-of-two learning rates.
+type Product struct {
+	Scale   int64
+	Shift   uint
+	Factors []Factor
+}
+
+// Rule is a sum-of-products weight adaptation rule (eq 9):
+//
+//	Δw = Σ_i RoundShift(S_i · Π_j (V_{i,j} + C_{i,j}), shift_i)
+//
+// applied at learning epochs. TagCountsPostSpikes additionally enables
+// the per-step tag micro-op dt = y0, which EMSTDP uses to accumulate
+// Z = ĥ + h across both phases (§III-B, eq 12). The tag is stored per
+// postsynaptic row: with dt = y0 every synapse in a row holds the same
+// value, so the simulator collapses the storage without changing rule
+// semantics.
+//
+// FrozenPost, when set, excludes postsynaptic rows from updates — the
+// incremental-learning protocol freezes old-class classifier rows this
+// way (§IV-B).
+type Rule struct {
+	Products            []Product
+	TagCountsPostSpikes bool
+	FrozenPost          []bool
+	// StochasticShift, when nonzero, replaces the per-product shifts:
+	// the raw sum of products is right-shifted by this amount with
+	// probabilistic rounding — Loihi's stochastic rounding mode. With
+	// 8-bit mantissas and power-of-two learning rates, deterministic
+	// rounding kills every update smaller than half a weight quantum;
+	// stochastic rounding preserves them in expectation, which is what
+	// makes small-learning-rate on-chip training converge.
+	StochasticShift uint
+}
+
+// Eval computes Δw for one synapse with deterministic per-product
+// rounding.
+func (r *Rule) Eval(x1, y1, tag, w int64) int64 {
+	var dw int64
+	for _, p := range r.Products {
+		dw += fixed.RoundShift(r.product(p, x1, y1, tag, w), p.Shift)
+	}
+	return dw
+}
+
+// EvalRaw computes the unshifted sum of products (used with stochastic
+// rounding, which applies one shift to the sum).
+func (r *Rule) EvalRaw(x1, y1, tag, w int64) int64 {
+	var dw int64
+	for _, p := range r.Products {
+		dw += r.product(p, x1, y1, tag, w)
+	}
+	return dw
+}
+
+func (r *Rule) product(p Product, x1, y1, tag, w int64) int64 {
+	term := p.Scale
+	for _, f := range p.Factors {
+		var v int64
+		switch f.V {
+		case VarOne:
+			v = 1
+		case VarX1:
+			v = x1
+		case VarY1:
+			v = y1
+		case VarTag:
+			v = tag
+		case VarW:
+			v = w
+		}
+		term *= v + f.C
+	}
+	return term
+}
+
+// StochasticShiftRound right-shifts v by s, rounding up with probability
+// equal to the discarded fraction (u supplies the random bits).
+func StochasticShiftRound(v int64, s uint, u uint64) int64 {
+	if s == 0 {
+		return v
+	}
+	mask := int64(1)<<s - 1
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	q := v >> s
+	frac := v & mask
+	if int64(u&uint64(mask)) < frac {
+		q++
+	}
+	if neg {
+		return -q
+	}
+	return q
+}
+
+// EMSTDPRule builds the paper's eq (12) update in sum-of-products form:
+//
+//	Δw = 2η·ĥ·x − η·Z·x
+//
+// with η = 2^-shift applied by stochastic rounding. Because Z = ĥ + h,
+// the raw sum equals (ĥ−h)·x — the reference delta rule of eq (7) —
+// while using only end-of-phase-2 state, which is the whole point of the
+// eq (11)→(12) transformation: Loihi has no way to bank the phase-1
+// count h for later use.
+func EMSTDPRule(shift uint) *Rule {
+	return &Rule{
+		TagCountsPostSpikes: true,
+		StochasticShift:     shift,
+		Products: []Product{
+			{Scale: 2, Factors: []Factor{{V: VarY1}, {V: VarX1}}},
+			{Scale: -1, Factors: []Factor{{V: VarTag}, {V: VarX1}}},
+		},
+	}
+}
+
+// PairwiseSTDPRule builds a classic rate-based pairwise STDP potentiation
+// rule Δw = RoundShift(A⁺·x1·y1, shift) − RoundShift(A⁻·x1, shift),
+// demonstrating that the engine expresses the regular STDP family the
+// Loihi documentation describes (§II-B). Used by tests and examples, not
+// by EMSTDP itself.
+func PairwiseSTDPRule(aPlus, aMinus int64, shift uint) *Rule {
+	return &Rule{
+		Products: []Product{
+			{Scale: aPlus, Shift: shift, Factors: []Factor{{V: VarX1}, {V: VarY1}}},
+			{Scale: -aMinus, Shift: shift, Factors: []Factor{{V: VarX1}}},
+		},
+	}
+}

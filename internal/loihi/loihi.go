@@ -1,0 +1,302 @@
+// Package loihi is a cycle-level (per-timestep) simulator of a Loihi-class
+// digital neuromorphic processor — the hardware substrate the paper runs
+// on. It models the properties the paper's algorithm adaptation targets:
+//
+//   - many-core layout with bounded compartments, synapses and fan-in per
+//     core, and power gating of unused cores (§II-B, §III-C);
+//   - CUBA leaky-integrate-and-fire compartments with integer state,
+//     configurable here as IF neurons by disabling the membrane leak and
+//     letting synaptic current decay immediately (§III-A);
+//   - signed 8-bit synaptic weights with a per-group weight exponent;
+//   - directional synapses: there is no backward path unless one is built
+//     explicitly (§III-A);
+//   - multi-compartment neurons whose soma output is AND-gated by an
+//     auxiliary compartment (§III-A);
+//   - pre/post synaptic trace counters and a microcode learning engine
+//     whose update rules are sums of products of locally available
+//     variables (eq 9), applied at learning epochs;
+//   - activity counters (spikes, synaptic events, compartment updates,
+//     core occupancy) that drive the energy/timing model in
+//     internal/energy.
+//
+// The simulator advances in barrier-synchronised timesteps. Spikes
+// generated in step t are delivered in step t+1, matching the chip's
+// mesh-routed axon delay of one algorithmic step.
+package loihi
+
+import "fmt"
+
+// HardwareConfig describes the chip's physical limits. Defaults mirror the
+// Loihi datasheet values the paper works against.
+type HardwareConfig struct {
+	NumCores               int
+	MaxCompartmentsPerCore int
+	MaxSynapsesPerCore     int // synaptic memory entries per core
+	MaxFanInPerCompartment int
+	MaxStepHz              float64 // barrier sync ceiling (10 kHz)
+}
+
+// DefaultHardware returns Loihi-like limits: 128 neuromorphic cores,
+// 1024 compartments per core, 128K synapse entries per core, 10 kHz
+// maximum step rate.
+func DefaultHardware() HardwareConfig {
+	return HardwareConfig{
+		NumCores:               128,
+		MaxCompartmentsPerCore: 1024,
+		MaxSynapsesPerCore:     128 * 1024,
+		MaxFanInPerCompartment: 4096,
+		MaxStepHz:              10000,
+	}
+}
+
+// Counters aggregates the activity statistics the energy model consumes.
+type Counters struct {
+	Steps              int64 // barrier-synchronised timesteps run
+	Spikes             int64 // total spikes emitted
+	SynapticEvents     int64 // spike deliveries (spike × fan-out synapses)
+	CompartmentUpdates int64 // compartment dynamic updates
+	LearningOps        int64 // synapses visited by the learning engine
+	ActiveCoreSteps    int64 // Σ over steps of cores powered on
+	HostTransactions   int64 // host↔chip writes (bias programming etc.)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Steps += other.Steps
+	c.Spikes += other.Spikes
+	c.SynapticEvents += other.SynapticEvents
+	c.CompartmentUpdates += other.CompartmentUpdates
+	c.LearningOps += other.LearningOps
+	c.ActiveCoreSteps += other.ActiveCoreSteps
+	c.HostTransactions += other.HostTransactions
+}
+
+// Chip is one simulated processor die.
+type Chip struct {
+	HW HardwareConfig
+
+	pops   []*Population
+	groups []Connector
+
+	// coreCompartments / coreSynapses track per-core occupancy for limit
+	// validation and the power model.
+	coreCompartments []int
+	coreSynapses     []int
+
+	counters Counters
+
+	// OnStep, when non-nil, runs at the end of every Step — the probe
+	// point for spike-raster recording and other diagnostics.
+	OnStep func()
+}
+
+// New returns an empty chip with the given hardware limits.
+func New(hw HardwareConfig) *Chip {
+	return &Chip{
+		HW:               hw,
+		coreCompartments: make([]int, hw.NumCores),
+		coreSynapses:     make([]int, hw.NumCores),
+	}
+}
+
+// AddPopulation registers a population and maps its compartments onto
+// cores, perCore compartments per core starting at core firstCore.
+// Returns an error if any touched core would exceed its compartment
+// budget or the chip runs out of cores.
+func (c *Chip) AddPopulation(p *Population, firstCore, perCore int) error {
+	if perCore <= 0 {
+		return fmt.Errorf("loihi: perCore must be positive, got %d", perCore)
+	}
+	if perCore > c.HW.MaxCompartmentsPerCore {
+		return fmt.Errorf("loihi: perCore %d exceeds compartments/core limit %d",
+			perCore, c.HW.MaxCompartmentsPerCore)
+	}
+	needed := (p.N + perCore - 1) / perCore
+	if firstCore < 0 || firstCore+needed > c.HW.NumCores {
+		return fmt.Errorf("loihi: population %q needs cores [%d,%d), chip has %d",
+			p.Name, firstCore, firstCore+needed, c.HW.NumCores)
+	}
+	p.cores = p.cores[:0]
+	remaining := p.N
+	for i := 0; i < needed; i++ {
+		take := perCore
+		if take > remaining {
+			take = remaining
+		}
+		core := firstCore + i
+		if c.coreCompartments[core]+take > c.HW.MaxCompartmentsPerCore {
+			return fmt.Errorf("loihi: core %d compartment budget exceeded (%d+%d > %d)",
+				core, c.coreCompartments[core], take, c.HW.MaxCompartmentsPerCore)
+		}
+		c.coreCompartments[core] += take
+		p.cores = append(p.cores, coreSlice{Core: core, Count: take})
+		remaining -= take
+	}
+	c.pops = append(c.pops, p)
+	return nil
+}
+
+// Connect registers a connector. Synaptic memory is charged to the
+// destination population's cores (Loihi stores synapses at the
+// destination), and fan-in limits are validated per compartment.
+func (c *Chip) Connect(g Connector) error {
+	post := g.PostPopulation()
+	if post == nil {
+		return fmt.Errorf("loihi: group %q has no destination", g.GroupName())
+	}
+	fanIn := g.MaxFanIn()
+	if post.fanIn+fanIn > c.HW.MaxFanInPerCompartment {
+		return fmt.Errorf("loihi: group %q would give population %q fan-in %d > limit %d",
+			g.GroupName(), post.Name, post.fanIn+fanIn, c.HW.MaxFanInPerCompartment)
+	}
+	post.fanIn += fanIn
+	// Charge synaptic memory to destination cores proportionally to the
+	// compartments they host.
+	if post.N > 0 {
+		perCompartment := (g.Synapses() + post.N - 1) / post.N
+		for _, cs := range post.cores {
+			need := cs.Count * perCompartment
+			if c.coreSynapses[cs.Core]+need > c.HW.MaxSynapsesPerCore {
+				return fmt.Errorf("loihi: core %d synapse memory exceeded (%d+%d > %d)",
+					cs.Core, c.coreSynapses[cs.Core], need, c.HW.MaxSynapsesPerCore)
+			}
+			c.coreSynapses[cs.Core] += need
+		}
+	}
+	c.groups = append(c.groups, g)
+	return nil
+}
+
+// ActiveCores returns the number of cores with at least one compartment —
+// unused cores are power-gated (§IV-A2).
+func (c *Chip) ActiveCores() int {
+	n := 0
+	for _, used := range c.coreCompartments {
+		if used > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxCompartmentsOnACore returns the busiest core's compartment count,
+// which sets the serial service time per step in the timing model.
+func (c *Chip) MaxCompartmentsOnACore() int {
+	m := 0
+	for _, used := range c.coreCompartments {
+		if used > m {
+			m = used
+		}
+	}
+	return m
+}
+
+// CoreOccupancy returns a copy of per-core compartment counts.
+func (c *Chip) CoreOccupancy() []int {
+	out := make([]int, len(c.coreCompartments))
+	copy(out, c.coreCompartments)
+	return out
+}
+
+// Counters returns the accumulated activity counters.
+func (c *Chip) Counters() Counters { return c.counters }
+
+// ResetCounters zeroes the activity counters (the energy harness brackets
+// measured regions this way).
+func (c *Chip) ResetCounters() { c.counters = Counters{} }
+
+// CountHostTransaction records a host↔chip interaction (bias write, label
+// write, state readback). The I/O-reduction argument of §III-D is made
+// with this counter.
+func (c *Chip) CountHostTransaction(n int) { c.counters.HostTransactions += int64(n) }
+
+// Step advances the chip one barrier-synchronised timestep:
+//
+//  1. synaptic accumulation: every group delivers its pre-population's
+//     previous-step spikes into post-population input accumulators;
+//  2. compartment update: every population integrates, thresholds, emits
+//     spikes, and updates its activity trace;
+//  3. per-step learning micro-ops (tag accumulation) run;
+//  4. spike buffers rotate.
+func (c *Chip) Step() {
+	for _, g := range c.groups {
+		c.counters.SynapticEvents += g.deliver()
+	}
+	for _, p := range c.pops {
+		c.counters.Spikes += int64(p.update())
+		c.counters.CompartmentUpdates += int64(p.N)
+	}
+	for _, g := range c.groups {
+		g.stepLearning()
+	}
+	for _, p := range c.pops {
+		p.rotate()
+	}
+	c.counters.Steps++
+	c.counters.ActiveCoreSteps += int64(c.ActiveCores())
+	if c.OnStep != nil {
+		c.OnStep()
+	}
+}
+
+// Run advances n timesteps.
+func (c *Chip) Run(n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}
+
+// ApplyLearning fires the learning epoch: every group with a rule applies
+// its weight update from the current trace state (end of phase 2 in the
+// EMSTDP schedule).
+func (c *Chip) ApplyLearning() {
+	for _, g := range c.groups {
+		c.counters.LearningOps += g.applyEpoch()
+	}
+}
+
+// ResetPhaseTraces zeroes pre/post trace counters on all groups and
+// populations but keeps tags — called at the phase-1→2 boundary so traces
+// hold phase-2 counts while tags span both phases.
+func (c *Chip) ResetPhaseTraces() {
+	for _, g := range c.groups {
+		g.resetPhaseTraces()
+	}
+	for _, p := range c.pops {
+		p.resetPostTrace()
+	}
+}
+
+// ResetMembranes zeroes membrane/current/accumulator state and spike
+// buffers on every population, keeping traces, tags, gates and weights.
+// The EMSTDP host issues this at the phase-1→2 boundary so both phases
+// measure the network from the same initial state; without it the
+// mid-integration membranes carry into phase 2 and bias ĥ one count above
+// h for nearly every active neuron, which compounds across samples into
+// runaway potentiation.
+func (c *Chip) ResetMembranes() {
+	for _, p := range c.pops {
+		p.resetDynamics()
+	}
+}
+
+// ResetState zeroes all dynamic state — membrane potentials, traces, tags
+// and activity counters on every population and group (the paper's
+// per-sample "Reset network state"). Synaptic weights persist.
+func (c *Chip) ResetState() {
+	for _, p := range c.pops {
+		p.reset()
+	}
+	for _, g := range c.groups {
+		g.reset()
+	}
+}
+
+// LatchGates snapshots every gated population's auxiliary activity into
+// its gate mask (end of phase 1: the aux compartment has integrated the
+// forward neuron's phase-1 activity).
+func (c *Chip) LatchGates() {
+	for _, p := range c.pops {
+		p.latchGate()
+	}
+}

@@ -1,0 +1,421 @@
+package loihi
+
+import (
+	"testing"
+
+	"emstdp/internal/fixed"
+)
+
+// ifPop builds a plain IF population (no leak, instant current).
+func ifPop(name string, n int, theta int32) *Population {
+	return NewPopulation(name, PopulationConfig{
+		N: n, Theta: theta, VMin: -theta,
+	})
+}
+
+func TestBiasDrivenIFRate(t *testing.T) {
+	// §III-D: bias k·θ/T yields exactly k spikes over T steps.
+	const T = 64
+	const theta = 256
+	chip := New(DefaultHardware())
+	in := ifPop("in", 1, theta)
+	if err := chip.AddPopulation(in, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int32{0, 1, 7, 32, 64} {
+		chip.ResetState()
+		in.SetBiases([]int32{k * theta / T})
+		count := 0
+		for i := 0; i < T; i++ {
+			chip.Step()
+			if in.Spikes()[0] {
+				count++
+			}
+		}
+		if count != int(k) {
+			t.Errorf("bias %d: %d spikes, want %d", k*theta/T, count, k)
+		}
+	}
+}
+
+func TestSpikeDelayOneStep(t *testing.T) {
+	chip := New(DefaultHardware())
+	a := ifPop("a", 1, 10)
+	b := ifPop("b", 1, 10)
+	if err := chip.AddPopulation(a, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddPopulation(b, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynapseGroup("ab", a, b, 0)
+	g.W[0] = 20 // one presynaptic spike fires b immediately
+	if err := chip.Connect(g); err != nil {
+		t.Fatal(err)
+	}
+	a.SetBiases([]int32{10}) // a fires every step
+	chip.Step()              // a fires; b has seen nothing yet
+	if !a.Spikes()[0] {
+		t.Fatal("a should fire on step 1")
+	}
+	if b.Spikes()[0] {
+		t.Fatal("b must not fire on step 1 (axon delay)")
+	}
+	chip.Step() // a's step-1 spike arrives at b
+	if !b.Spikes()[0] {
+		t.Fatal("b should fire on step 2")
+	}
+}
+
+func TestWeightExponent(t *testing.T) {
+	chip := New(DefaultHardware())
+	a := ifPop("a", 1, 10)
+	b := ifPop("b", 1, 1000)
+	if err := chip.AddPopulation(a, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddPopulation(b, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynapseGroup("ab", a, b, 3) // mantissa 100 << 3 = 800 per spike
+	g.W[0] = 100
+	if err := chip.Connect(g); err != nil {
+		t.Fatal(err)
+	}
+	a.SetBiases([]int32{10})
+	chip.Step()
+	chip.Step()
+	if got := b.Potential(0); got != 800 {
+		t.Errorf("membrane after one 100<<3 spike = %d, want 800", got)
+	}
+}
+
+func TestSetWeightsFloatRoundTrip(t *testing.T) {
+	a := ifPop("a", 4, 10)
+	b := ifPop("b", 2, 10)
+	g := NewSynapseGroup("ab", a, b, 0)
+	w := []float64{0.1, -0.25, 0.03, 0, 0.5, -0.5, 0.2, -0.01}
+	const scale = 256
+	g.SetWeightsFloat(w, scale, 2)
+	for i, want := range w {
+		got := g.WeightFloat(i/4, i%4, scale)
+		if diff := got - want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("w[%d]: %v -> %v", i, want, got)
+		}
+	}
+}
+
+func TestSetWeightsFloatHeadroom(t *testing.T) {
+	a := ifPop("a", 1, 10)
+	b := ifPop("b", 1, 10)
+	g := NewSynapseGroup("ab", a, b, 0)
+	g.SetWeightsFloat([]float64{0.1}, 256, 4)
+	// With 4x headroom, a weight 4x the max must still be representable
+	// (i.e. the mantissa has room to grow under learning).
+	if g.W[0] == 0 || g.W[0] > fixed.WeightMax/3 {
+		t.Errorf("mantissa %d leaves no growth headroom", g.W[0])
+	}
+}
+
+func TestLeakConfiguration(t *testing.T) {
+	// CUBA leak (eq 8): with LeakShift=1 the membrane halves per step.
+	p := NewPopulation("leaky", PopulationConfig{N: 1, Theta: 1000, VMin: -1000, LeakShift: 1})
+	chip := New(DefaultHardware())
+	if err := chip.AddPopulation(p, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	p.SetBiases([]int32{100})
+	chip.Step() // v = 100
+	p.SetBiases([]int32{0})
+	chip.Step() // v = 50
+	chip.Step() // v = 25
+	if got := p.Potential(0); got != 25 {
+		t.Errorf("leaky membrane = %d, want 25", got)
+	}
+}
+
+func TestCurrentDecayConfiguration(t *testing.T) {
+	// With CurrentDecayShift=1 a single spike's current persists,
+	// halving each step: contributions 100, 50, 25...
+	a := ifPop("a", 1, 10)
+	b := NewPopulation("cuba", PopulationConfig{N: 1, Theta: 10000, VMin: 0, CurrentDecayShift: 1})
+	chip := New(DefaultHardware())
+	if err := chip.AddPopulation(a, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddPopulation(b, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynapseGroup("ab", a, b, 0)
+	g.W[0] = 100
+	if err := chip.Connect(g); err != nil {
+		t.Fatal(err)
+	}
+	a.SetBiases([]int32{10})
+	chip.Step() // a fires
+	a.SetBiases([]int32{0})
+	chip.Step() // current 100 arrives: v = 100
+	chip.Step() // current decays to 50: v = 150
+	chip.Step() // 25: v = 175
+	if got := b.Potential(0); got != 175 {
+		t.Errorf("CUBA membrane = %d, want 175", got)
+	}
+}
+
+func TestVMinFloors(t *testing.T) {
+	chip := New(DefaultHardware())
+	p := ifPop("p", 1, 100)
+	if err := chip.AddPopulation(p, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	p.SetBiases([]int32{-10000})
+	chip.Step()
+	if got := p.Potential(0); got != -100 {
+		t.Errorf("membrane = %d, want floor -100", got)
+	}
+}
+
+func TestGatedPopulationAND(t *testing.T) {
+	chip := New(DefaultHardware())
+	fwd := ifPop("fwd", 2, 10)
+	err := NewPopulation("err", PopulationConfig{
+		N: 2, Theta: 10, VMin: -10, Gated: true, GateLo: 1, GateHi: 1000,
+	})
+	if e := chip.AddPopulation(fwd, 0, 10); e != nil {
+		t.Fatal(e)
+	}
+	if e := chip.AddPopulation(err, 1, 10); e != nil {
+		t.Fatal(e)
+	}
+	err.AuxSource(fwd)
+
+	// Neuron 0's forward partner fires; neuron 1's stays silent.
+	fwd.SetBiases([]int32{10, 0})
+	err.SetBiases([]int32{10, 10}) // both error somas driven hard
+	for i := 0; i < 5; i++ {
+		chip.Step()
+	}
+	chip.LatchGates()
+	chip.Step()
+	if !err.Spikes()[0] {
+		t.Error("gated neuron with active partner should fire")
+	}
+	if err.Spikes()[1] {
+		t.Error("gated neuron with silent partner must not fire")
+	}
+}
+
+func TestGateHiSuppressesSaturated(t *testing.T) {
+	chip := New(DefaultHardware())
+	fwd := ifPop("fwd", 1, 10)
+	errp := NewPopulation("err", PopulationConfig{
+		N: 1, Theta: 10, VMin: -10, Gated: true, GateLo: 1, GateHi: 3,
+	})
+	if e := chip.AddPopulation(fwd, 0, 10); e != nil {
+		t.Fatal(e)
+	}
+	if e := chip.AddPopulation(errp, 1, 10); e != nil {
+		t.Fatal(e)
+	}
+	errp.AuxSource(fwd)
+	fwd.SetBiases([]int32{10}) // fires every step: saturated partner
+	errp.SetBiases([]int32{10})
+	for i := 0; i < 6; i++ {
+		chip.Step()
+	}
+	chip.LatchGates() // aux activity 5 > GateHi 3 → gate closed
+	chip.Step()
+	if errp.Spikes()[0] {
+		t.Error("saturated partner must close the h' gate")
+	}
+}
+
+func TestCoreMappingLimits(t *testing.T) {
+	hw := DefaultHardware()
+	hw.NumCores = 2
+	hw.MaxCompartmentsPerCore = 10
+	chip := New(hw)
+	if err := chip.AddPopulation(ifPop("a", 15, 10), 0, 10); err != nil {
+		t.Fatalf("15 compartments over 2 cores should fit: %v", err)
+	}
+	if err := chip.AddPopulation(ifPop("b", 10, 10), 1, 10); err == nil {
+		t.Error("core 1 already half full; expected budget error")
+	}
+	if err := chip.AddPopulation(ifPop("c", 100, 10), 0, 10); err == nil {
+		t.Error("expected out-of-cores error")
+	}
+	if err := chip.AddPopulation(ifPop("d", 1, 10), 0, 0); err == nil {
+		t.Error("expected perCore validation error")
+	}
+}
+
+func TestActiveCoresAndOccupancy(t *testing.T) {
+	chip := New(DefaultHardware())
+	if err := chip.AddPopulation(ifPop("a", 25, 10), 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := chip.ActiveCores(); got != 3 {
+		t.Errorf("ActiveCores = %d, want 3 (10+10+5)", got)
+	}
+	if got := chip.MaxCompartmentsOnACore(); got != 10 {
+		t.Errorf("MaxCompartmentsOnACore = %d, want 10", got)
+	}
+	occ := chip.CoreOccupancy()
+	if occ[0] != 10 || occ[1] != 10 || occ[2] != 5 || occ[3] != 0 {
+		t.Errorf("occupancy = %v", occ[:4])
+	}
+}
+
+func TestFanInValidation(t *testing.T) {
+	hw := DefaultHardware()
+	hw.MaxFanInPerCompartment = 5
+	chip := New(hw)
+	a := ifPop("a", 4, 10)
+	b := ifPop("b", 2, 10)
+	c := ifPop("c", 2, 10)
+	for i, p := range []*Population{a, b, c} {
+		if err := chip.AddPopulation(p, i, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := chip.Connect(NewSynapseGroup("ab", a, b, 0)); err != nil {
+		t.Fatalf("fan-in 4 <= 5 should connect: %v", err)
+	}
+	if err := chip.Connect(NewSynapseGroup("cb", c, b, 0)); err == nil {
+		t.Error("fan-in 4+2 > 5 should be rejected")
+	}
+}
+
+func TestSynapseMemoryValidation(t *testing.T) {
+	hw := DefaultHardware()
+	hw.MaxSynapsesPerCore = 100
+	chip := New(hw)
+	a := ifPop("a", 30, 10)
+	b := ifPop("b", 10, 10)
+	if err := chip.AddPopulation(a, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddPopulation(b, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	// 10 post compartments × 30 pre = 300 > 100 entries on core 1.
+	if err := chip.Connect(NewSynapseGroup("ab", a, b, 0)); err == nil {
+		t.Error("synapse memory overflow should be rejected")
+	}
+}
+
+func TestCountersTrackActivity(t *testing.T) {
+	chip := New(DefaultHardware())
+	a := ifPop("a", 2, 10)
+	b := ifPop("b", 3, 1000)
+	if err := chip.AddPopulation(a, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddPopulation(b, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynapseGroup("ab", a, b, 0)
+	if err := chip.Connect(g); err != nil {
+		t.Fatal(err)
+	}
+	a.SetBiases([]int32{10, 10}) // both fire every step
+	chip.Run(4)
+	ct := chip.Counters()
+	if ct.Steps != 4 {
+		t.Errorf("steps = %d", ct.Steps)
+	}
+	if ct.Spikes != 8 {
+		t.Errorf("spikes = %d, want 8", ct.Spikes)
+	}
+	// Spikes from steps 1..3 delivered in steps 2..4: 3 steps × 2 spikes × 3 fan-out.
+	if ct.SynapticEvents != 18 {
+		t.Errorf("synaptic events = %d, want 18", ct.SynapticEvents)
+	}
+	if ct.CompartmentUpdates != 4*5 {
+		t.Errorf("compartment updates = %d, want 20", ct.CompartmentUpdates)
+	}
+	if ct.ActiveCoreSteps != 4*2 {
+		t.Errorf("active core steps = %d, want 8", ct.ActiveCoreSteps)
+	}
+	chip.ResetCounters()
+	if chip.Counters().Steps != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestResetStatePreservesWeights(t *testing.T) {
+	chip := New(DefaultHardware())
+	a := ifPop("a", 1, 10)
+	b := ifPop("b", 1, 100)
+	if err := chip.AddPopulation(a, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.AddPopulation(b, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynapseGroup("ab", a, b, 0)
+	g.W[0] = 55
+	if err := chip.Connect(g); err != nil {
+		t.Fatal(err)
+	}
+	a.SetBiases([]int32{10})
+	chip.Run(3)
+	chip.ResetState()
+	if b.Potential(0) != 0 {
+		t.Error("membrane not reset")
+	}
+	if g.W[0] != 55 {
+		t.Error("weights must survive state reset")
+	}
+}
+
+func TestHomeostaticThresholdAdaptation(t *testing.T) {
+	chip := New(DefaultHardware())
+	p := NewPopulation("homeo", PopulationConfig{
+		N: 1, Theta: 100, VMin: -100,
+		HomeostasisUp: 50, HomeostasisDecayShift: 4,
+	})
+	if err := chip.AddPopulation(p, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	p.SetBiases([]int32{100}) // drives a spike every step at base threshold
+	count := 0
+	for i := 0; i < 20; i++ {
+		chip.Step()
+		if p.Spikes()[0] {
+			count++
+		}
+	}
+	// With the threshold rising 50 per spike, the rate must fall well
+	// below one spike per step.
+	if count >= 18 {
+		t.Errorf("homeostasis did not throttle: %d spikes in 20 steps", count)
+	}
+	if count == 0 {
+		t.Error("homeostasis killed the neuron entirely")
+	}
+
+	// Adaptation is slow state: it survives the per-sample reset.
+	before := count
+	chip.ResetState()
+	count = 0
+	for i := 0; i < 20; i++ {
+		chip.Step()
+		if p.Spikes()[0] {
+			count++
+		}
+	}
+	if count > before {
+		t.Errorf("adaptation lost across ResetState: %d then %d spikes", before, count)
+	}
+
+	// And it decays: after a long silent period the neuron recovers.
+	p.SetBiases([]int32{0})
+	chip.Run(400)
+	p.SetBiases([]int32{100})
+	chip.Step()
+	chip.Step()
+	if !p.Spikes()[0] {
+		t.Error("adaptation did not decay during silence")
+	}
+}

@@ -1,0 +1,357 @@
+package loihi
+
+import (
+	"fmt"
+
+	"emstdp/internal/fixed"
+)
+
+// coreSlice records a population's occupancy of one core.
+type coreSlice struct {
+	Core  int
+	Count int
+}
+
+// PopulationConfig describes the compartment dynamics of a population.
+// All state is integer, mirroring the chip's registers.
+type PopulationConfig struct {
+	// N is the number of compartments.
+	N int
+	// Theta is the firing threshold (membrane units).
+	Theta int32
+	// VMin floors the membrane potential (the register saturates rather
+	// than wraps). Set to a small negative multiple of Theta.
+	VMin int32
+	// LeakShift, when nonzero, applies a per-step membrane leak
+	// v -= v>>LeakShift — the CUBA leak of eq (8). Zero gives the IF
+	// configuration of §III-A (τv at maximum, no leak).
+	LeakShift uint
+	// CurrentDecayShift, when nonzero, retains synaptic current between
+	// steps with decay u -= u>>shift. Zero makes current decay
+	// immediately (the paper's IF configuration).
+	CurrentDecayShift uint
+	// Source marks a host-driven spike source: the population has no
+	// compartment dynamics and emits exactly the spikes the host injects
+	// each step via InjectSpikes — the mesh-level spike-insertion input
+	// path that §III-D's bias coding replaces. Each injected spike costs
+	// one host transaction.
+	Source bool
+	// HomeostasisUp, when nonzero, enables Loihi's adaptive-threshold
+	// homeostasis: each spike raises the compartment's effective
+	// threshold by this amount, and the adaptation decays by
+	// 1/2^HomeostasisDecayShift per step. Frequent winners become harder
+	// to fire, letting competitors specialise — the mechanism
+	// unsupervised STDP networks rely on. Adaptation state is slow
+	// plasticity: it survives the per-sample state reset, like weights.
+	HomeostasisUp         int32
+	HomeostasisDecayShift uint
+	// Gated marks a two-compartment neuron: the soma's spike output is
+	// ANDed with the auxiliary compartment's latched activity (§III-A).
+	Gated bool
+	// GateLo/GateHi bound the aux activity count for the gate to pass;
+	// this realises h′ of the shifted ReLU: active but not saturated.
+	GateLo, GateHi int
+}
+
+// Population is a bank of compartments sharing one configuration, the
+// unit the netlist builder works in (one population per layer/channel).
+type Population struct {
+	Name string
+	N    int
+	cfg  PopulationConfig
+
+	Bias []int32 // per-compartment bias, host-programmable
+
+	v   []int32 // membrane potential
+	u   []int32 // synaptic current (used only with CurrentDecayShift > 0)
+	acc []int32 // this step's synaptic input accumulator
+	// adaptTheta is the homeostatic threshold adaptation (slow state,
+	// survives sample resets).
+	adaptTheta []int32
+
+	spikesNow  []bool // produced this step
+	spikesPrev []bool // visible to synapse groups this step
+
+	// postTrace counts this population's spikes since the last phase
+	// reset (Loihi's postsynaptic trace, no decay: EMSTDP uses it as ĥ).
+	postTrace []uint8
+
+	// auxActivity counts spikes of the aux-linked population (set via
+	// AuxSource); gateMask is latched from it at the phase boundary.
+	auxSrc      *Population
+	auxActivity []int32
+	gateMask    []bool
+
+	// disabled compartments never fire and hold their membrane at zero —
+	// the host sets this by programming the compartment threshold to its
+	// maximum (incremental learning disables old-class error neurons).
+	disabled []bool
+
+	// phaseGate, when set, live-gates the soma output on a single
+	// control neuron: spikes pass only while the control neuron is
+	// firing. EMSTDP drives the error path's control neuron with a host
+	// bias write at the phase-1→2 boundary, keeping the whole error
+	// network silent during phase 1.
+	phaseGate *Population
+
+	fanIn int
+	cores []coreSlice
+}
+
+// NewPopulation builds a population from a config.
+func NewPopulation(name string, cfg PopulationConfig) *Population {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("loihi: population %q needs positive size", name))
+	}
+	if cfg.Theta <= 0 && !cfg.Source {
+		panic(fmt.Sprintf("loihi: population %q needs positive threshold", name))
+	}
+	p := &Population{
+		Name:       name,
+		N:          cfg.N,
+		cfg:        cfg,
+		Bias:       make([]int32, cfg.N),
+		v:          make([]int32, cfg.N),
+		acc:        make([]int32, cfg.N),
+		spikesNow:  make([]bool, cfg.N),
+		spikesPrev: make([]bool, cfg.N),
+		postTrace:  make([]uint8, cfg.N),
+	}
+	if cfg.CurrentDecayShift > 0 {
+		p.u = make([]int32, cfg.N)
+	}
+	if cfg.HomeostasisUp > 0 {
+		p.adaptTheta = make([]int32, cfg.N)
+	}
+	if cfg.Gated {
+		p.auxActivity = make([]int32, cfg.N)
+		p.gateMask = make([]bool, cfg.N)
+	}
+	return p
+}
+
+// Config returns the population's compartment configuration.
+func (p *Population) Config() PopulationConfig { return p.cfg }
+
+// AuxSource links the auxiliary compartments to another population of the
+// same size: each aux compartment integrates the activity of the
+// corresponding src neuron (the forward-path partner in the EMSTDP error
+// network).
+func (p *Population) AuxSource(src *Population) {
+	if !p.cfg.Gated {
+		panic(fmt.Sprintf("loihi: population %q is not gated", p.Name))
+	}
+	if src.N != p.N {
+		panic(fmt.Sprintf("loihi: aux source %q size %d != %q size %d", src.Name, src.N, p.Name, p.N))
+	}
+	p.auxSrc = src
+}
+
+// SetDisabled marks compartment i disabled (true) or enabled (false).
+// Disabled compartments never fire and hold their membrane at zero.
+func (p *Population) SetDisabled(i int, d bool) {
+	if p.disabled == nil {
+		p.disabled = make([]bool, p.N)
+	}
+	p.disabled[i] = d
+}
+
+// SetPhaseGate live-gates this population's output on a size-1 control
+// population: spikes pass only on steps where the control neuron's
+// previous-step spike is high (an additional AND compartment in the
+// dendritic tree).
+func (p *Population) SetPhaseGate(ctrl *Population) {
+	if ctrl.N != 1 {
+		panic(fmt.Sprintf("loihi: phase gate source %q must have one neuron", ctrl.Name))
+	}
+	p.phaseGate = ctrl
+}
+
+// SetBiases programs per-compartment biases (one host transaction's worth
+// of data; the caller accounts for it via Chip.CountHostTransaction).
+func (p *Population) SetBiases(b []int32) {
+	if len(b) != p.N {
+		panic(fmt.Sprintf("loihi: population %q bias length %d != %d", p.Name, len(b), p.N))
+	}
+	copy(p.Bias, b)
+}
+
+// Spikes returns last step's spike vector (the one visible to synapses).
+func (p *Population) Spikes() []bool { return p.spikesPrev }
+
+// PostTrace returns the post-synaptic trace value of compartment i.
+func (p *Population) PostTrace(i int) uint8 { return p.postTrace[i] }
+
+// PostTraces returns the post trace array (not a copy).
+func (p *Population) PostTraces() []uint8 { return p.postTrace }
+
+// Potential returns the membrane potential of compartment i.
+func (p *Population) Potential(i int) int32 { return p.v[i] }
+
+// addInput accumulates synaptic drive for this step.
+func (p *Population) addInput(i int, w int32) {
+	p.acc[i] = fixed.SatAdd32(p.acc[i], w, fixed.StateMin, fixed.StateMax)
+}
+
+// InjectSpikes queues host spike events for the next step (Source
+// populations only). Returns the number of injected spikes, which the
+// caller accounts as host transactions.
+func (p *Population) InjectSpikes(spikes []bool) int {
+	if !p.cfg.Source {
+		panic(fmt.Sprintf("loihi: population %q is not a spike source", p.Name))
+	}
+	if len(spikes) != p.N {
+		panic(fmt.Sprintf("loihi: population %q spike vector %d != %d", p.Name, len(spikes), p.N))
+	}
+	n := 0
+	for i, s := range spikes {
+		p.spikesNow[i] = s
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// update advances compartment dynamics one step and returns the number of
+// spikes emitted.
+func (p *Population) update() int {
+	if p.cfg.Source {
+		// Host-injected spikes pass straight through; they were staged
+		// by InjectSpikes into spikesNow.
+		n := 0
+		for i, s := range p.spikesNow {
+			if s {
+				n++
+				p.postTrace[i] = fixed.SatTrace(int64(p.postTrace[i]) + 1)
+			}
+		}
+		return n
+	}
+	spikes := 0
+	for i := 0; i < p.N; i++ {
+		drive := p.acc[i]
+		p.acc[i] = 0
+		if p.disabled != nil && p.disabled[i] {
+			p.v[i] = 0
+			p.spikesNow[i] = false
+			continue
+		}
+		if p.u != nil {
+			// CUBA current: decay then integrate new arrivals.
+			p.u[i] -= p.u[i] >> p.cfg.CurrentDecayShift
+			p.u[i] = fixed.SatAdd32(p.u[i], drive, fixed.StateMin, fixed.StateMax)
+			drive = p.u[i]
+		}
+		v := p.v[i]
+		if p.cfg.LeakShift > 0 {
+			v -= v >> p.cfg.LeakShift
+		}
+		v = fixed.SatAdd32(v, fixed.SatAdd32(drive, p.Bias[i], fixed.StateMin, fixed.StateMax),
+			fixed.StateMin, fixed.StateMax)
+
+		theta := p.cfg.Theta
+		if p.adaptTheta != nil {
+			p.adaptTheta[i] -= p.adaptTheta[i] >> p.cfg.HomeostasisDecayShift
+			theta += p.adaptTheta[i]
+		}
+		fired := false
+		if v >= theta {
+			v -= theta // reset by subtraction preserves eq (2)
+			fired = true
+			if p.adaptTheta != nil {
+				p.adaptTheta[i] = fixed.SatAdd32(p.adaptTheta[i], p.cfg.HomeostasisUp,
+					0, fixed.StateMax)
+			}
+		}
+		if v < p.cfg.VMin {
+			v = p.cfg.VMin
+		}
+		p.v[i] = v
+
+		// The AND gates: a latched-inactive aux compartment or a silent
+		// phase-control neuron swallows the soma spike (the threshold
+		// crossing still consumed the potential).
+		if fired && p.cfg.Gated && !p.gateMask[i] {
+			fired = false
+		}
+		if fired && p.phaseGate != nil && !p.phaseGate.spikesPrev[0] {
+			fired = false
+		}
+		p.spikesNow[i] = fired
+		if fired {
+			spikes++
+			p.postTrace[i] = fixed.SatTrace(int64(p.postTrace[i]) + 1)
+		}
+	}
+	// Aux compartments integrate their source's current spikes.
+	if p.auxSrc != nil {
+		for i, s := range p.auxSrc.spikesPrev {
+			if s {
+				p.auxActivity[i]++
+			}
+		}
+	}
+	return spikes
+}
+
+// rotate publishes this step's spikes to the synapse-visible buffer.
+func (p *Population) rotate() {
+	p.spikesPrev, p.spikesNow = p.spikesNow, p.spikesPrev
+	if p.cfg.Source {
+		// Injected spikes are one-shot events, not persistent state.
+		for i := range p.spikesNow {
+			p.spikesNow[i] = false
+		}
+	}
+}
+
+// latchGate snapshots aux activity into the gate mask.
+func (p *Population) latchGate() {
+	if !p.cfg.Gated {
+		return
+	}
+	for i, a := range p.auxActivity {
+		p.gateMask[i] = int(a) >= p.cfg.GateLo && int(a) <= p.cfg.GateHi
+	}
+}
+
+// resetPostTrace zeroes the post trace (phase boundary).
+func (p *Population) resetPostTrace() {
+	for i := range p.postTrace {
+		p.postTrace[i] = 0
+	}
+}
+
+// resetDynamics zeroes membranes, currents, accumulators and spike
+// buffers, keeping traces, aux activity and gate masks (phase boundary).
+func (p *Population) resetDynamics() {
+	for i := 0; i < p.N; i++ {
+		p.v[i] = 0
+		p.acc[i] = 0
+		p.spikesNow[i] = false
+		p.spikesPrev[i] = false
+		if p.u != nil {
+			p.u[i] = 0
+		}
+	}
+}
+
+// reset zeroes all dynamic state (sample boundary). Biases persist: they
+// are host-programmed per sample.
+func (p *Population) reset() {
+	for i := 0; i < p.N; i++ {
+		p.v[i] = 0
+		p.acc[i] = 0
+		p.spikesNow[i] = false
+		p.spikesPrev[i] = false
+		p.postTrace[i] = 0
+		if p.u != nil {
+			p.u[i] = 0
+		}
+		if p.auxActivity != nil {
+			p.auxActivity[i] = 0
+			p.gateMask[i] = false
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package loihi
+
+import "emstdp/internal/fixed"
+
+// Connector is the routing abstraction the chip steps: dense plastic
+// groups (SynapseGroup) and sparse fixed groups (SparseGroup) both
+// implement it.
+type Connector interface {
+	// deliver routes last step's pre spikes, returning synaptic events.
+	deliver() int64
+	// stepLearning runs per-step learning micro-ops.
+	stepLearning()
+	// applyEpoch applies the learning rule, returning ops performed.
+	applyEpoch() int64
+	// resetPhaseTraces clears pre traces at the phase boundary.
+	resetPhaseTraces()
+	// reset clears all learning state at the sample boundary.
+	reset()
+
+	// GroupName identifies the group in errors and reports.
+	GroupName() string
+	// PostPopulation is the destination (synapses live at its cores).
+	PostPopulation() *Population
+	// Synapses is the stored synapse count (for core memory accounting).
+	Synapses() int
+	// MaxFanIn is the largest per-compartment fan-in this group adds.
+	MaxFanIn() int
+}
+
+// SynapseGroup (dense) Connector methods beyond those in synapse.go.
+
+// GroupName returns the group's name.
+func (g *SynapseGroup) GroupName() string { return g.Name }
+
+// PostPopulation returns the destination population.
+func (g *SynapseGroup) PostPopulation() *Population { return g.Post }
+
+// Synapses returns Pre.N × Post.N.
+func (g *SynapseGroup) Synapses() int { return g.Pre.N * g.Post.N }
+
+// MaxFanIn returns Pre.N (all-to-all).
+func (g *SynapseGroup) MaxFanIn() int { return g.Pre.N }
+
+// SparseSynapse is one fixed connection.
+type SparseSynapse struct {
+	Post int
+	W    int8
+}
+
+// SparseGroup is a fixed (non-plastic) connection with explicit per-pre
+// adjacency lists — the storage used for convolutional layers (kernel
+// windows) and one-to-one wiring (error injection, loss taps). Weights
+// share a group exponent like the dense group.
+type SparseGroup struct {
+	Name string
+	Pre  *Population
+	Post *Population
+	Exp  uint
+	// fanOut[k] lists pre neuron k's outgoing synapses.
+	fanOut [][]SparseSynapse
+
+	synapses int
+	maxFanIn int
+}
+
+// NewSparseGroup builds an empty sparse group.
+func NewSparseGroup(name string, pre, post *Population, exp uint) *SparseGroup {
+	return &SparseGroup{
+		Name: name, Pre: pre, Post: post, Exp: exp,
+		fanOut: make([][]SparseSynapse, pre.N),
+	}
+}
+
+// Add inserts a synapse from pre neuron k to post neuron o.
+func (g *SparseGroup) Add(k, o int, w int8) {
+	g.fanOut[k] = append(g.fanOut[k], SparseSynapse{Post: o, W: w})
+	g.synapses++
+}
+
+// NewDiagonalGroup wires pre[i] → post[i] with a uniform weight —
+// EMSTDP's error-injection and loss-tap connections.
+func NewDiagonalGroup(name string, pre, post *Population, w int8, exp uint) *SparseGroup {
+	if pre.N != post.N {
+		panic("loihi: diagonal group needs equal population sizes")
+	}
+	g := NewSparseGroup(name, pre, post, exp)
+	for i := 0; i < pre.N; i++ {
+		g.Add(i, i, w)
+	}
+	return g
+}
+
+// finalizeFanIn computes the max per-post fan-in (cached).
+func (g *SparseGroup) finalizeFanIn() {
+	counts := make([]int, g.Post.N)
+	for _, outs := range g.fanOut {
+		for _, s := range outs {
+			counts[s.Post]++
+		}
+	}
+	m := 0
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	g.maxFanIn = m
+}
+
+// deliver routes spikes through the adjacency lists.
+func (g *SparseGroup) deliver() int64 {
+	var events int64
+	for k, s := range g.Pre.Spikes() {
+		if !s {
+			continue
+		}
+		outs := g.fanOut[k]
+		for _, syn := range outs {
+			g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+		}
+		events += int64(len(outs))
+	}
+	return events
+}
+
+// stepLearning is a no-op: sparse groups are fixed.
+func (g *SparseGroup) stepLearning() {}
+
+// applyEpoch is a no-op: sparse groups are fixed.
+func (g *SparseGroup) applyEpoch() int64 { return 0 }
+
+// resetPhaseTraces is a no-op.
+func (g *SparseGroup) resetPhaseTraces() {}
+
+// reset is a no-op.
+func (g *SparseGroup) reset() {}
+
+// GroupName returns the group's name.
+func (g *SparseGroup) GroupName() string { return g.Name }
+
+// PostPopulation returns the destination population.
+func (g *SparseGroup) PostPopulation() *Population { return g.Post }
+
+// Synapses returns the stored synapse count.
+func (g *SparseGroup) Synapses() int { return g.synapses }
+
+// MaxFanIn returns the largest per-compartment fan-in.
+func (g *SparseGroup) MaxFanIn() int {
+	if g.maxFanIn == 0 && g.synapses > 0 {
+		g.finalizeFanIn()
+	}
+	return g.maxFanIn
+}
+
+// QuantizeInto converts a real weight to this group's mantissa domain.
+func (g *SparseGroup) QuantizeInto(w float64, scale float64) int8 {
+	unit := float64(int64(1) << g.Exp)
+	return fixed.SatWeight(roundHalfAway(w * scale / unit))
+}

@@ -1,0 +1,208 @@
+package loihi
+
+import (
+	"fmt"
+
+	"emstdp/internal/fixed"
+	"emstdp/internal/rng"
+)
+
+// SynapseGroup is a dense all-to-all connection between two populations
+// with signed 8-bit weights and a shared power-of-two weight exponent:
+// the membrane contribution of a spike through synapse (o,k) is
+// W[o*Pre.N+k] << Exp.
+type SynapseGroup struct {
+	Name string
+	Pre  *Population
+	Post *Population
+	// W is row-major Post.N × Pre.N int8 mantissas.
+	W []int8
+	// Exp is the shared weight exponent (contribution = mantissa << Exp).
+	Exp uint
+	// Rule, when non-nil, makes this group plastic: the learning engine
+	// maintains a presynaptic trace and per-post tag, and applies the
+	// rule at learning epochs.
+	Rule *Rule
+
+	// preTrace counts presynaptic spikes since the last phase reset
+	// (Loihi's x1 trace configured with no decay).
+	preTrace []uint8
+	// tag is the per-postsynaptic-row synaptic tag variable. EMSTDP's
+	// tag rule (dt = y0) gives every synapse of a row the same value, so
+	// it is stored once per row; see Rule for the engine semantics.
+	tag []int32
+	// lrnRNG supplies random bits for stochastic rounding.
+	lrnRNG *rng.Source
+}
+
+// NewSynapseGroup builds a group with zeroed weights.
+func NewSynapseGroup(name string, pre, post *Population, exp uint) *SynapseGroup {
+	g := &SynapseGroup{
+		Name: name,
+		Pre:  pre,
+		Post: post,
+		W:    make([]int8, pre.N*post.N),
+		Exp:  exp,
+	}
+	return g
+}
+
+// EnableLearning attaches a rule and allocates trace state. seed drives
+// the stochastic-rounding bit stream (deterministic per group).
+func (g *SynapseGroup) EnableLearning(rule *Rule, seed uint64) {
+	g.Rule = rule
+	g.preTrace = make([]uint8, g.Pre.N)
+	g.tag = make([]int32, g.Post.N)
+	g.lrnRNG = rng.New(seed)
+}
+
+// SetWeightsFloat quantizes real-valued weights (row-major post×pre, in
+// units where one unit of membrane per spike = 1.0/scale... concretely:
+// effective integer contribution = round(w*scale) split into mantissa and
+// the group exponent). headroom multiplies the quantization range so
+// learned weights can grow past their initial magnitude before clipping.
+func (g *SynapseGroup) SetWeightsFloat(w []float64, scale, headroom float64) {
+	if len(w) != len(g.W) {
+		panic(fmt.Sprintf("loihi: group %q weight count %d != %d", g.Name, len(w), len(g.W)))
+	}
+	maxAbs := 0.0
+	for _, v := range w {
+		a := v * scale
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if headroom < 1 {
+		headroom = 1
+	}
+	q := fixed.NewQuantizer(maxAbs * headroom)
+	exp := q.Exp
+	if exp < 0 {
+		// Negative exponents are not representable by the integer shift;
+		// clamp to 0 (mantissa = rounded integer contribution).
+		exp = 0
+	}
+	g.Exp = uint(exp)
+	unit := float64(int64(1) << g.Exp)
+	for i, v := range w {
+		g.W[i] = fixed.SatWeight(int64(roundHalfAway(v * scale / unit)))
+	}
+}
+
+func roundHalfAway(x float64) int64 {
+	if x >= 0 {
+		return int64(x + 0.5)
+	}
+	return -int64(-x + 0.5)
+}
+
+// WeightFloat returns the effective real value of synapse (o, k) given
+// the scale used at SetWeightsFloat time.
+func (g *SynapseGroup) WeightFloat(o, k int, scale float64) float64 {
+	return float64(int32(g.W[o*g.Pre.N+k])<<g.Exp) / scale
+}
+
+// deliver routes last step's presynaptic spikes into the post population,
+// returning the number of synaptic events (per-spike fan-out deliveries).
+func (g *SynapseGroup) deliver() int64 {
+	var events int64
+	preN := g.Pre.N
+	for k, s := range g.Pre.Spikes() {
+		if !s {
+			continue
+		}
+		if g.preTrace != nil {
+			g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
+		}
+		for o := 0; o < g.Post.N; o++ {
+			w := g.W[o*preN+k]
+			if w != 0 {
+				g.Post.addInput(o, int32(w)<<g.Exp)
+			}
+		}
+		events += int64(g.Post.N)
+	}
+	return events
+}
+
+// stepLearning runs per-step learning micro-ops: the tag accumulation
+// rule dt = y0 (one increment per postsynaptic spike, both phases).
+func (g *SynapseGroup) stepLearning() {
+	if g.Rule == nil || !g.Rule.TagCountsPostSpikes {
+		return
+	}
+	for o, s := range g.Post.spikesNow {
+		if s {
+			g.tag[o]++
+		}
+	}
+}
+
+// applyEpoch applies the weight update rule over all synapses, returning
+// the number of learning operations performed.
+func (g *SynapseGroup) applyEpoch() int64 {
+	if g.Rule == nil {
+		return 0
+	}
+	preN := g.Pre.N
+	for o := 0; o < g.Post.N; o++ {
+		if g.Rule.FrozenPost != nil && g.Rule.FrozenPost[o] {
+			continue
+		}
+		row := g.W[o*preN : (o+1)*preN]
+		y1 := int64(g.Post.postTrace[o])
+		tg := int64(g.tag[o])
+		for k := 0; k < preN; k++ {
+			x1 := int64(g.preTrace[k])
+			if x1 == 0 {
+				continue // every product term carries x1; zero pre-trace means no update
+			}
+			var dw int64
+			if s := g.Rule.StochasticShift; s > 0 {
+				raw := g.Rule.EvalRaw(x1, y1, tg, int64(row[k]))
+				if raw != 0 {
+					dw = StochasticShiftRound(raw, s, g.lrnRNG.Uint64())
+				}
+			} else {
+				dw = g.Rule.Eval(x1, y1, tg, int64(row[k]))
+			}
+			if dw != 0 {
+				row[k] = fixed.SatWeight(int64(row[k]) + dw)
+			}
+		}
+	}
+	return int64(g.Post.N * preN)
+}
+
+// PerturbWeights adds zero-mean Gaussian drift of the given standard
+// deviation (in mantissa units) to every weight, saturating at the int8
+// range — a model of analog device variation / memristive conductance
+// drift that fielded neuromorphic hardware accumulates. The paper argues
+// in-hardware learning exists precisely to compensate such drift (§I);
+// the adaptation experiment uses this hook.
+func (g *SynapseGroup) PerturbWeights(r *rng.Source, sd float64) {
+	for i, w := range g.W {
+		g.W[i] = fixed.SatWeight(int64(w) + int64(r.NormScaled(0, sd)))
+	}
+}
+
+// resetPhaseTraces zeroes the pre trace (tags persist across the phase
+// boundary by design).
+func (g *SynapseGroup) resetPhaseTraces() {
+	for i := range g.preTrace {
+		g.preTrace[i] = 0
+	}
+}
+
+// reset zeroes all learning state (sample boundary).
+func (g *SynapseGroup) reset() {
+	for i := range g.preTrace {
+		g.preTrace[i] = 0
+	}
+	for i := range g.tag {
+		g.tag[i] = 0
+	}
+}

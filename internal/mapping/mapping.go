@@ -1,0 +1,232 @@
+// Package mapping implements the paper's core-mapping algorithm
+// (§III-C, Operation Flow 1): neurons are mapped incrementally onto cores
+// a layer at a time, subject to the chip's fan-in/fan-out constraints.
+// The layer adjacency matrices (dense or convolutional) give per-neuron
+// fan-ins and fan-outs, from which the number of neurons packed per core
+// is chosen; packing more neurons per core uses fewer cores (less active
+// power, idle cores are power-gated) but serialises more work per core
+// per step (longer execution time) — the trade-off of Fig 3.
+package mapping
+
+import (
+	"fmt"
+
+	"emstdp/internal/loihi"
+)
+
+// LayerKind distinguishes connectivity generators.
+type LayerKind int
+
+const (
+	// Dense layers connect all-to-all.
+	Dense LayerKind = iota
+	// Conv layers connect through a strided kernel window.
+	Conv
+)
+
+// LayerSpec describes one layer to map.
+type LayerSpec struct {
+	Name string
+	Kind LayerKind
+	// Neurons is the layer's neuron count.
+	Neurons int
+	// FanIn / FanOut as derived from the adjacency structure.
+	FanIn, FanOut int
+}
+
+// DenseSpec builds the spec for a dense layer of out neurons fed by in
+// neurons and feeding next neurons downstream.
+func DenseSpec(name string, in, out, next int) LayerSpec {
+	return LayerSpec{Name: name, Kind: Dense, Neurons: out, FanIn: in, FanOut: next}
+}
+
+// ConvSpec builds the spec for a conv layer: each output neuron sees
+// inC·kh·kw inputs; fan-out is bounded by the downstream kernel coverage.
+func ConvSpec(name string, inC, kh, kw, outC, outH, outW, nextFanOut int) LayerSpec {
+	return LayerSpec{
+		Name:    name,
+		Kind:    Conv,
+		Neurons: outC * outH * outW,
+		FanIn:   inC * kh * kw,
+		FanOut:  nextFanOut,
+	}
+}
+
+// Adjacency is the boolean connectivity matrix between two layers, built
+// explicitly as Operation Flow 1 prescribes ("Build l−1:l adjacency
+// matrix"). For dense layers it is all-ones; for conv layers it holds the
+// kernel-window structure.
+type Adjacency struct {
+	Pre, Post int
+	bits      []bool
+}
+
+// NewDenseAdjacency returns the all-to-all matrix.
+func NewDenseAdjacency(pre, post int) *Adjacency {
+	a := &Adjacency{Pre: pre, Post: post, bits: make([]bool, pre*post)}
+	for i := range a.bits {
+		a.bits[i] = true
+	}
+	return a
+}
+
+// NewConvAdjacency builds the connectivity of a strided convolution from
+// an inC×inH×inW input to an outC-filter kh×kw kernel with the given
+// stride (no padding), matching tensor.ConvShape.
+func NewConvAdjacency(inC, inH, inW, outC, kh, kw, stride int) *Adjacency {
+	outH := (inH-kh)/stride + 1
+	outW := (inW-kw)/stride + 1
+	pre := inC * inH * inW
+	post := outC * outH * outW
+	a := &Adjacency{Pre: pre, Post: post, bits: make([]bool, pre*post)}
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				o := (oc*outH+oy)*outW + ox
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy := oy*stride + ky
+							ix := ox*stride + kx
+							p := (ic*inH+iy)*inW + ix
+							a.bits[o*pre+p] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Connected reports whether pre neuron p feeds post neuron o.
+func (a *Adjacency) Connected(o, p int) bool { return a.bits[o*a.Pre+p] }
+
+// FanIn returns post neuron o's presynaptic count.
+func (a *Adjacency) FanIn(o int) int {
+	n := 0
+	row := a.bits[o*a.Pre : (o+1)*a.Pre]
+	for _, b := range row {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FanOut returns pre neuron p's postsynaptic count.
+func (a *Adjacency) FanOut(p int) int {
+	n := 0
+	for o := 0; o < a.Post; o++ {
+		if a.bits[o*a.Pre+p] {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxFanIn returns the largest fan-in over all post neurons.
+func (a *Adjacency) MaxFanIn() int {
+	m := 0
+	for o := 0; o < a.Post; o++ {
+		if f := a.FanIn(o); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// Synapses returns the total connection count.
+func (a *Adjacency) Synapses() int {
+	n := 0
+	for _, b := range a.bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Assignment records where one layer landed.
+type Assignment struct {
+	Layer     LayerSpec
+	FirstCore int
+	Cores     int
+	PerCore   int
+}
+
+// Plan is a complete chip mapping.
+type Plan struct {
+	Assignments []Assignment
+	TotalCores  int
+}
+
+// NeuronsPerCoreFor returns the constraint-respecting neurons-per-core
+// for a layer: the requested packing reduced until per-core synaptic
+// memory and the compartment budget hold. This is the "Compute lm,
+// optimal number of neurons per core" step of Operation Flow 1.
+func NeuronsPerCoreFor(hw loihi.HardwareConfig, spec LayerSpec, requested int) int {
+	per := requested
+	if per > hw.MaxCompartmentsPerCore {
+		per = hw.MaxCompartmentsPerCore
+	}
+	if per < 1 {
+		per = 1
+	}
+	if spec.FanIn > 0 {
+		// Each neuron stores FanIn synapses at its core.
+		if maxBySynapses := hw.MaxSynapsesPerCore / spec.FanIn; maxBySynapses < per {
+			per = maxBySynapses
+		}
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Map lays out the layers incrementally onto cores, packing perCore
+// neurons per core for every layer (reduced per layer if constraints
+// demand). Returns the plan or an error if the chip runs out of cores or
+// a layer's fan-in exceeds a single compartment's budget.
+func Map(hw loihi.HardwareConfig, layers []LayerSpec, perCore int) (*Plan, error) {
+	plan := &Plan{}
+	next := 0
+	for _, spec := range layers {
+		if spec.FanIn > hw.MaxFanInPerCompartment {
+			return nil, fmt.Errorf("mapping: layer %q fan-in %d exceeds compartment limit %d",
+				spec.Name, spec.FanIn, hw.MaxFanInPerCompartment)
+		}
+		per := NeuronsPerCoreFor(hw, spec, perCore)
+		cores := (spec.Neurons + per - 1) / per
+		if next+cores > hw.NumCores {
+			return nil, fmt.Errorf("mapping: out of cores at layer %q (need %d more, %d left)",
+				spec.Name, cores, hw.NumCores-next)
+		}
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Layer: spec, FirstCore: next, Cores: cores, PerCore: per,
+		})
+		next += cores
+	}
+	plan.TotalCores = next
+	return plan, nil
+}
+
+// CoresUsed returns the number of cores the plan occupies.
+func (p *Plan) CoresUsed() int { return p.TotalCores }
+
+// MaxNeuronsPerCore returns the plan's busiest packing, which sets the
+// per-step service time in the Fig 3 timing model.
+func (p *Plan) MaxNeuronsPerCore() int {
+	m := 0
+	for _, a := range p.Assignments {
+		per := a.PerCore
+		if a.Layer.Neurons < per {
+			per = a.Layer.Neurons
+		}
+		if per > m {
+			m = per
+		}
+	}
+	return m
+}

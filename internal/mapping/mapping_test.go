@@ -1,0 +1,167 @@
+package mapping
+
+import (
+	"testing"
+
+	"emstdp/internal/loihi"
+	"emstdp/internal/tensor"
+)
+
+func TestDenseAdjacency(t *testing.T) {
+	a := NewDenseAdjacency(4, 3)
+	if a.Synapses() != 12 {
+		t.Errorf("synapses = %d, want 12", a.Synapses())
+	}
+	for o := 0; o < 3; o++ {
+		if a.FanIn(o) != 4 {
+			t.Errorf("fan-in(%d) = %d", o, a.FanIn(o))
+		}
+	}
+	for p := 0; p < 4; p++ {
+		if a.FanOut(p) != 3 {
+			t.Errorf("fan-out(%d) = %d", p, a.FanOut(p))
+		}
+	}
+}
+
+func TestConvAdjacencyShapeAndFanIn(t *testing.T) {
+	// 1×28×28 input, 16 filters 5×5 stride 2 → 16×12×12 output.
+	a := NewConvAdjacency(1, 28, 28, 16, 5, 5, 2)
+	wantPost := 16 * 12 * 12
+	if a.Post != wantPost {
+		t.Fatalf("post = %d, want %d", a.Post, wantPost)
+	}
+	if a.Pre != 28*28 {
+		t.Fatalf("pre = %d", a.Pre)
+	}
+	// Interior output neurons see exactly kh·kw inputs per channel.
+	if got := a.MaxFanIn(); got != 25 {
+		t.Errorf("max fan-in = %d, want 25", got)
+	}
+	// Consistency with the tensor package's conv shape.
+	if tensor.ConvShape(28, 5, 2, 0) != 12 {
+		t.Error("ConvShape disagrees")
+	}
+}
+
+func TestConvAdjacencyConnectivityPattern(t *testing.T) {
+	// 1×4×4 input, 1 filter 2×2 stride 2 → 2×2 output.
+	a := NewConvAdjacency(1, 4, 4, 1, 2, 2, 2)
+	// Output (0,0) connects to inputs (0,0),(0,1),(1,0),(1,1).
+	for _, p := range []int{0, 1, 4, 5} {
+		if !a.Connected(0, p) {
+			t.Errorf("output 0 should connect to input %d", p)
+		}
+	}
+	// ... and not to input (2,2).
+	if a.Connected(0, 10) {
+		t.Error("output 0 must not connect to input 10")
+	}
+	// Every output has fan-in 4; every input has fan-out 1 (stride=kernel).
+	for o := 0; o < 4; o++ {
+		if a.FanIn(o) != 4 {
+			t.Errorf("fan-in(%d) = %d", o, a.FanIn(o))
+		}
+	}
+	for p := 0; p < 16; p++ {
+		if a.FanOut(p) != 1 {
+			t.Errorf("fan-out(%d) = %d, want 1", p, a.FanOut(p))
+		}
+	}
+}
+
+func TestMapBasicPlan(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	layers := []LayerSpec{
+		DenseSpec("hidden", 200, 100, 10),
+		DenseSpec("output", 100, 10, 0),
+	}
+	plan, err := Map(hw, layers, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assignments[0].Cores != 10 {
+		t.Errorf("hidden cores = %d, want 10", plan.Assignments[0].Cores)
+	}
+	if plan.Assignments[1].Cores != 1 {
+		t.Errorf("output cores = %d, want 1", plan.Assignments[1].Cores)
+	}
+	if plan.CoresUsed() != 11 {
+		t.Errorf("total cores = %d, want 11", plan.CoresUsed())
+	}
+	if plan.MaxNeuronsPerCore() != 10 {
+		t.Errorf("max neurons/core = %d", plan.MaxNeuronsPerCore())
+	}
+	// Layers are laid out incrementally without overlap.
+	if plan.Assignments[1].FirstCore != 10 {
+		t.Errorf("output first core = %d, want 10", plan.Assignments[1].FirstCore)
+	}
+}
+
+// More neurons per core monotonically uses fewer (or equal) cores — the
+// power half of the Fig 3 trade-off.
+func TestMapCoresMonotoneInPacking(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	layers := []LayerSpec{
+		DenseSpec("h", 200, 110, 10),
+	}
+	prev := 1 << 30
+	for per := 5; per <= 30; per += 5 {
+		plan, err := Map(hw, layers, per)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.CoresUsed() > prev {
+			t.Errorf("perCore=%d uses %d cores, more than previous %d", per, plan.CoresUsed(), prev)
+		}
+		prev = plan.CoresUsed()
+	}
+}
+
+func TestMapRespectsSynapseMemory(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	hw.MaxSynapsesPerCore = 1000
+	// Fan-in 500: at most 2 neurons per core fit the synapse memory.
+	got := NeuronsPerCoreFor(hw, DenseSpec("big", 500, 10, 0), 30)
+	if got != 2 {
+		t.Errorf("neurons/core = %d, want 2", got)
+	}
+}
+
+func TestMapRejectsOversizedFanIn(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	hw.MaxFanInPerCompartment = 100
+	_, err := Map(hw, []LayerSpec{DenseSpec("fat", 500, 10, 0)}, 10)
+	if err == nil {
+		t.Error("expected fan-in error")
+	}
+}
+
+func TestMapRunsOutOfCores(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	hw.NumCores = 4
+	_, err := Map(hw, []LayerSpec{DenseSpec("wide", 10, 1000, 0)}, 10)
+	if err == nil {
+		t.Error("expected out-of-cores error")
+	}
+}
+
+func TestNeuronsPerCoreBounds(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	if got := NeuronsPerCoreFor(hw, DenseSpec("a", 10, 10, 0), 0); got != 1 {
+		t.Errorf("requested 0 should clamp to 1, got %d", got)
+	}
+	if got := NeuronsPerCoreFor(hw, DenseSpec("a", 10, 10, 0), 1<<20); got != hw.MaxCompartmentsPerCore {
+		t.Errorf("huge request should clamp to compartment limit, got %d", got)
+	}
+}
+
+func TestConvSpecCounts(t *testing.T) {
+	s := ConvSpec("c1", 1, 5, 5, 16, 12, 12, 72)
+	if s.Neurons != 16*12*12 {
+		t.Errorf("neurons = %d", s.Neurons)
+	}
+	if s.FanIn != 25 {
+		t.Errorf("fan-in = %d", s.FanIn)
+	}
+}

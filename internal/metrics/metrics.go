@@ -1,0 +1,108 @@
+// Package metrics provides the evaluation metrics of the experiments:
+// accuracy, confusion matrices, and per-class accuracy restricted to an
+// observed-class subset (the quantity Fig 4 tracks as classes arrive
+// incrementally).
+package metrics
+
+import "fmt"
+
+// Confusion is a square confusion matrix: rows are true labels, columns
+// predictions.
+type Confusion struct {
+	N     int
+	Cells []int
+}
+
+// NewConfusion returns an n-class confusion matrix.
+func NewConfusion(n int) *Confusion {
+	return &Confusion{N: n, Cells: make([]int, n*n)}
+}
+
+// Observe records one (true, predicted) pair.
+func (c *Confusion) Observe(truth, pred int) {
+	if truth < 0 || truth >= c.N || pred < 0 || pred >= c.N {
+		panic(fmt.Sprintf("metrics: label pair (%d,%d) out of range for %d classes", truth, pred, c.N))
+	}
+	c.Cells[truth*c.N+pred]++
+}
+
+// At returns the count of samples with the given true label predicted as
+// pred.
+func (c *Confusion) At(truth, pred int) int { return c.Cells[truth*c.N+pred] }
+
+// Total returns the number of observations.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, v := range c.Cells {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the overall fraction correct (0 for an empty matrix).
+func (c *Confusion) Accuracy() float64 {
+	correct := 0
+	for i := 0; i < c.N; i++ {
+		correct += c.Cells[i*c.N+i]
+	}
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassAccuracy returns per-class recall; classes with no observations
+// report -1 so callers can distinguish "absent" from "all wrong".
+func (c *Confusion) ClassAccuracy() []float64 {
+	out := make([]float64, c.N)
+	for t := 0; t < c.N; t++ {
+		total := 0
+		for p := 0; p < c.N; p++ {
+			total += c.Cells[t*c.N+p]
+		}
+		if total == 0 {
+			out[t] = -1
+			continue
+		}
+		out[t] = float64(c.At(t, t)) / float64(total)
+	}
+	return out
+}
+
+// SubsetAccuracy returns accuracy over samples whose true label is in
+// classes — the "accuracy of observed classes" measure of Fig 4.
+func (c *Confusion) SubsetAccuracy(classes []int) float64 {
+	correct, total := 0, 0
+	for _, t := range classes {
+		for p := 0; p < c.N; p++ {
+			total += c.Cells[t*c.N+p]
+		}
+		correct += c.At(t, t)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Classifier is anything that predicts a class for a rate vector.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// Sample pairs an input rate vector with its label.
+type Sample struct {
+	X []float64
+	Y int
+}
+
+// Evaluate runs the classifier over samples and returns the confusion
+// matrix for n classes.
+func Evaluate(c Classifier, samples []Sample, n int) *Confusion {
+	cm := NewConfusion(n)
+	for _, s := range samples {
+		cm.Observe(s.Y, c.Predict(s.X))
+	}
+	return cm
+}

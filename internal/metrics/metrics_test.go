@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(3)
+	c.Observe(0, 0)
+	c.Observe(0, 1)
+	c.Observe(1, 1)
+	c.Observe(2, 2)
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if c.Accuracy() != 0.75 {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+	if c.At(0, 1) != 1 {
+		t.Errorf("At(0,1) = %d", c.At(0, 1))
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion(2)
+	if c.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestObservePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewConfusion(2).Observe(2, 0)
+}
+
+func TestClassAccuracy(t *testing.T) {
+	c := NewConfusion(3)
+	c.Observe(0, 0)
+	c.Observe(0, 0)
+	c.Observe(1, 0)
+	acc := c.ClassAccuracy()
+	if acc[0] != 1 {
+		t.Errorf("class 0 = %v", acc[0])
+	}
+	if acc[1] != 0 {
+		t.Errorf("class 1 = %v", acc[1])
+	}
+	if acc[2] != -1 {
+		t.Errorf("unobserved class should be -1, got %v", acc[2])
+	}
+}
+
+func TestSubsetAccuracy(t *testing.T) {
+	c := NewConfusion(4)
+	c.Observe(0, 0)
+	c.Observe(1, 2) // wrong
+	c.Observe(2, 2)
+	c.Observe(3, 3) // excluded from subset
+	got := c.SubsetAccuracy([]int{0, 1, 2})
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("subset accuracy = %v, want 2/3", got)
+	}
+	if c.SubsetAccuracy([]int{}) != 0 {
+		t.Error("empty subset should be 0")
+	}
+}
+
+type constClassifier int
+
+func (c constClassifier) Predict([]float64) int { return int(c) }
+
+func TestEvaluate(t *testing.T) {
+	samples := []Sample{{X: nil, Y: 1}, {X: nil, Y: 1}, {X: nil, Y: 0}}
+	cm := Evaluate(constClassifier(1), samples, 2)
+	if cm.Accuracy() != 2.0/3 {
+		t.Errorf("accuracy = %v", cm.Accuracy())
+	}
+}

@@ -1,0 +1,82 @@
+package raster
+
+import (
+	"strings"
+	"testing"
+
+	"emstdp/internal/loihi"
+)
+
+func setup(t *testing.T) (*loihi.Chip, *loihi.Population, *Recorder) {
+	t.Helper()
+	chip := loihi.New(loihi.DefaultHardware())
+	p := loihi.NewPopulation("p", loihi.PopulationConfig{N: 3, Theta: 4, VMin: -4})
+	if err := chip.AddPopulation(p, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	rec.Tap("p", p)
+	return chip, p, rec
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	chip, p, rec := setup(t)
+	p.SetBiases([]int32{4, 2, 0}) // rates 1, 0.5, 0
+	rec.Run(chip, 8)
+	if rec.Steps() != 8 {
+		t.Fatalf("steps = %d", rec.Steps())
+	}
+	if got := rec.SpikeCount(0); got != 8+4 {
+		t.Errorf("spike count = %d, want 12", got)
+	}
+	rates := rec.Rates(0)
+	if rates[0] != 1 || rates[1] != 0.5 || rates[2] != 0 {
+		t.Errorf("rates = %v", rates)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	chip, p, rec := setup(t)
+	p.SetBiases([]int32{4, 0, 0})
+	rec.Run(chip, 5)
+	out := rec.String()
+	if !strings.Contains(out, "p (3 neurons, 5 spikes)") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|||||") {
+		t.Errorf("neuron 0's solid train missing:\n%s", out)
+	}
+	if !strings.Contains(out, ".....") {
+		t.Errorf("silent neuron's row missing:\n%s", out)
+	}
+}
+
+func TestRenderElision(t *testing.T) {
+	chip := loihi.New(loihi.DefaultHardware())
+	p := loihi.NewPopulation("big", loihi.PopulationConfig{N: 20, Theta: 4, VMin: -4})
+	if err := chip.AddPopulation(p, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	rec.Tap("big", p)
+	rec.Run(chip, 3)
+	var sb strings.Builder
+	rec.Render(&sb, 5, 0)
+	if !strings.Contains(sb.String(), "15 more neurons elided") {
+		t.Errorf("elision note missing:\n%s", sb.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	chip, p, rec := setup(t)
+	p.SetBiases([]int32{4, 4, 4})
+	rec.Run(chip, 4)
+	rec.Reset()
+	if rec.Steps() != 0 {
+		t.Error("reset did not clear trains")
+	}
+	rec.Run(chip, 2)
+	if rec.Steps() != 2 {
+		t.Error("recorder unusable after reset")
+	}
+}

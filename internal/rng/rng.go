@@ -1,0 +1,174 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator for reproducible experiments. Every stochastic component in the
+// reproduction (weight init, feedback-alignment matrices, dataset synthesis,
+// shuffling) draws from an rng.Source seeded from an experiment-level seed,
+// so a run is a pure function of its seed and parameters.
+//
+// The generator is SplitMix64 feeding xoshiro256**, both public-domain
+// algorithms; stdlib math/rand is avoided because its global state and
+// pre-1.20 seeding behaviour make cross-package reproducibility fragile.
+package rng
+
+import "math"
+
+// Source is a deterministic PRNG. Not safe for concurrent use; Split off
+// independent child sources for parallel work.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next output; used for seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed.
+func New(seed uint64) *Source {
+	var r Source
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start in the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Split returns a new Source whose stream is independent of r's future
+// output (seeded from r but decorrelated through SplitMix64).
+func (r *Source) Split() *Source {
+	x := r.Uint64() ^ 0xa0761d6478bd642f
+	child := &Source{}
+	for i := range child.s {
+		child.s[i] = splitmix64(&x)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 1
+	}
+	return child
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). Panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased.
+	un := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= -un%un {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal draw (Box–Muller; one value per call,
+// the pair's second value is discarded to keep the stream position simple).
+func (r *Source) Norm() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// NormScaled returns mean + sd*Norm().
+func (r *Source) NormScaled(mean, sd float64) float64 {
+	return mean + sd*r.Norm()
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle over n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponential draw with rate lambda.
+func (r *Source) Exp(lambda float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / lambda
+		}
+	}
+}
+
+// FillUniform fills dst with uniform draws in [lo, hi).
+func (r *Source) FillUniform(dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = r.Uniform(lo, hi)
+	}
+}
+
+// FillNorm fills dst with normal draws N(mean, sd^2).
+func (r *Source) FillNorm(dst []float64, mean, sd float64) {
+	for i := range dst {
+		dst[i] = r.NormScaled(mean, sd)
+	}
+}

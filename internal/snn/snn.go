@@ -1,0 +1,182 @@
+// Package snn implements the full-precision spiking substrate used by the
+// paper's "Python (FP)" reference implementation: dense layers of
+// integrate-and-fire neurons simulated step by step.
+//
+// The neuron model is the paper's eq (1): membrane potential integrates
+// weighted presynaptic spikes plus bias with no leak, fires when it
+// reaches the threshold θ, and resets by subtraction. Reset-by-subtraction
+// (rather than reset-to-zero) preserves residual drive so the spike count
+// over a phase is the floor-quantized linear response of eq (2),
+// h = floor(u/θ) — the property the whole rate-domain analysis of EMSTDP
+// rests on.
+package snn
+
+import (
+	"fmt"
+
+	"emstdp/internal/rng"
+)
+
+// IFLayer is a dense layer of integrate-and-fire neurons.
+type IFLayer struct {
+	In, Out int
+	// W holds synaptic weights, row-major Out×In. Trainable layers are
+	// updated in place by the EMSTDP trainer.
+	W []float64
+	// Bias is a constant per-step membrane increment (paper eq 1's b_i).
+	Bias []float64
+	// Theta is the firing threshold.
+	Theta float64
+	// UMin floors the membrane potential. Error-driven inhibition in
+	// EMSTDP's second phase would otherwise push silent neurons
+	// arbitrarily negative, from which they could not recover within the
+	// phase; the floor mirrors Loihi's saturating membrane register.
+	UMin float64
+
+	u      []float64
+	spikes []bool
+}
+
+// NewIFLayer builds a dense IF layer with uniformly initialised weights
+// W ~ U(-scale, scale), threshold theta and a membrane floor of -theta.
+func NewIFLayer(r *rng.Source, in, out int, scale, theta float64) *IFLayer {
+	l := &IFLayer{
+		In: in, Out: out,
+		W:      make([]float64, in*out),
+		Bias:   make([]float64, out),
+		Theta:  theta,
+		UMin:   -theta,
+		u:      make([]float64, out),
+		spikes: make([]bool, out),
+	}
+	r.FillUniform(l.W, -scale, scale)
+	return l
+}
+
+// Step integrates one timestep of presynaptic spikes and returns the
+// layer's spike vector (valid until the next Step).
+func (l *IFLayer) Step(pre []bool) []bool {
+	if len(pre) != l.In {
+		panic(fmt.Sprintf("snn: layer expects %d inputs, got %d", l.In, len(pre)))
+	}
+	for o := 0; o < l.Out; o++ {
+		row := l.W[o*l.In : (o+1)*l.In]
+		acc := l.Bias[o]
+		for i, s := range pre {
+			if s {
+				acc += row[i]
+			}
+		}
+		u := l.u[o] + acc
+		if u >= l.Theta {
+			u -= l.Theta
+			l.spikes[o] = true
+		} else {
+			l.spikes[o] = false
+		}
+		if u < l.UMin {
+			u = l.UMin
+		}
+		l.u[o] = u
+	}
+	return l.spikes
+}
+
+// Inject adds v directly to neuron o's membrane potential. EMSTDP's
+// second phase delivers error corrections this way: each error spike
+// nudges the forward neuron's membrane so its rate settles at the target.
+func (l *IFLayer) Inject(o int, v float64) {
+	l.u[o] += v
+	if l.u[o] < l.UMin {
+		l.u[o] = l.UMin
+	}
+}
+
+// Spikes returns the most recent spike vector.
+func (l *IFLayer) Spikes() []bool { return l.spikes }
+
+// Potential returns neuron o's current membrane potential.
+func (l *IFLayer) Potential(o int) float64 { return l.u[o] }
+
+// Reset zeroes membrane state and spike outputs (the paper's per-sample
+// "Reset network state").
+func (l *IFLayer) Reset() {
+	for i := range l.u {
+		l.u[i] = 0
+		l.spikes[i] = false
+	}
+}
+
+// ErrChannel is a bank of signed error accumulators implementing the
+// paper's positive/negative error-channel pair (§III-A, eq 10). The chip
+// realises this as two cross-connected populations of IF neurons; in the
+// full-precision reference the pair is equivalent to one signed
+// accumulator that emits +1 (positive-channel) or -1 (negative-channel)
+// spikes when the accumulated error crosses ±θ. The equivalence is exact:
+// the cross-connection in eq 10 makes the two channels integrate the same
+// signed quantity with opposite signs.
+type ErrChannel struct {
+	// Theta is the error-spike granularity: one emitted spike represents
+	// θ of accumulated error.
+	Theta float64
+	eps   []float64
+	out   []int8
+}
+
+// NewErrChannel returns an error channel bank over n neurons.
+func NewErrChannel(n int, theta float64) *ErrChannel {
+	return &ErrChannel{Theta: theta, eps: make([]float64, n), out: make([]int8, n)}
+}
+
+// Len returns the number of error neurons.
+func (e *ErrChannel) Len() int { return len(e.eps) }
+
+// Accumulate adds drive to error neuron i's membrane.
+func (e *ErrChannel) Accumulate(i int, drive float64) { e.eps[i] += drive }
+
+// Step thresholds all accumulators, returning signed spikes in {-1,0,+1}.
+// gate[i]==false suppresses neuron i's output — the h′ gating of eq (4),
+// realised on chip by the multi-compartment AND (§III-A). Gated error is
+// discarded, not banked: a suppressed neuron's membrane still resets, as
+// the soma's threshold crossing consumes the potential whether or not the
+// auxiliary compartment lets the spike out.
+func (e *ErrChannel) Step(gate []bool) []int8 {
+	return e.StepDir(gate, gate)
+}
+
+// StepDir thresholds with direction-specific gates: gatePos masks +1
+// spikes, gateNeg masks −1 spikes. On chip the positive and negative
+// error channels are separate populations, so each carries its own aux
+// gate window — the positive channel's window excludes saturated forward
+// partners (h′ = 0 above the shifted-ReLU bound) while the negative
+// channel only requires activity, so an over-corrected neuron can always
+// be pulled back down. A shared window for both signs ratchets: one
+// oversized positive correction pushes the neuron past the bound, where
+// a symmetric gate would block the negative spikes that could recover it.
+func (e *ErrChannel) StepDir(gatePos, gateNeg []bool) []int8 {
+	for i := range e.eps {
+		var s int8
+		if e.eps[i] >= e.Theta {
+			e.eps[i] -= e.Theta
+			s = 1
+		} else if e.eps[i] <= -e.Theta {
+			e.eps[i] += e.Theta
+			s = -1
+		}
+		if s == 1 && gatePos != nil && !gatePos[i] {
+			s = 0
+		} else if s == -1 && gateNeg != nil && !gateNeg[i] {
+			s = 0
+		}
+		e.out[i] = s
+	}
+	return e.out
+}
+
+// Reset zeroes accumulator state.
+func (e *ErrChannel) Reset() {
+	for i := range e.eps {
+		e.eps[i] = 0
+		e.out[i] = 0
+	}
+}

@@ -1,0 +1,203 @@
+// Package spike provides the spike-domain primitives shared by the
+// full-precision reference network and the chip netlist: the bias-driven
+// input rate coder of §III-D, saturating trace counters matching Loihi's
+// pre/post synaptic traces, and spike-count bookkeeping.
+//
+// The paper's input coding replaces per-spike host→chip I/O with a single
+// bias write per sample: the input neuron integrates its bias i every
+// step, U(t) = U(t-1) + i, and fires whenever U crosses θ. Over a phase of
+// T steps it emits floor(i·T/θ) spikes — a rate linearly proportional to
+// the input with one host transaction instead of O(T).
+package spike
+
+import (
+	"emstdp/internal/fixed"
+	"emstdp/internal/rng"
+)
+
+// BiasEncoder is a bank of bias-driven integrate-and-fire input neurons.
+// Thresholds are uniform; biases are set once per sample.
+type BiasEncoder struct {
+	Theta  float64
+	bias   []float64
+	u      []float64
+	spikes []bool
+}
+
+// NewBiasEncoder returns an encoder for n input neurons with threshold
+// theta.
+func NewBiasEncoder(n int, theta float64) *BiasEncoder {
+	return &BiasEncoder{
+		Theta:  theta,
+		bias:   make([]float64, n),
+		u:      make([]float64, n),
+		spikes: make([]bool, n),
+	}
+}
+
+// Len returns the number of input neurons.
+func (e *BiasEncoder) Len() int { return len(e.bias) }
+
+// SetBiases programs the per-neuron biases (the single host→chip write of
+// §III-D). Values are copied.
+func (e *BiasEncoder) SetBiases(b []float64) {
+	if len(b) != len(e.bias) {
+		panic("spike: bias length mismatch")
+	}
+	copy(e.bias, b)
+}
+
+// Step advances one timestep and returns the spike vector (valid until the
+// next Step call).
+func (e *BiasEncoder) Step() []bool {
+	for i := range e.u {
+		e.u[i] += e.bias[i]
+		if e.u[i] >= e.Theta {
+			e.u[i] -= e.Theta
+			e.spikes[i] = true
+		} else {
+			e.spikes[i] = false
+		}
+	}
+	return e.spikes
+}
+
+// Reset zeroes membrane state (biases are kept).
+func (e *BiasEncoder) Reset() {
+	for i := range e.u {
+		e.u[i] = 0
+	}
+}
+
+// QuantizeToPhase quantizes real-valued inputs in [0,1] to T bins, the
+// paper's "Quantize x to T bins" step: the returned values are k/T for
+// integer k, so the spike count over a phase of T steps is exactly k.
+func QuantizeToPhase(x []float64, T int) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		k := int(fixed.ClampF(v, 0, 1)*float64(T) + 0.5)
+		if k > T {
+			k = T
+		}
+		out[i] = float64(k) / float64(T)
+	}
+	return out
+}
+
+// PoissonEncoder is the stochastic alternative to BiasEncoder: each
+// neuron fires independently with per-step probability equal to its
+// rate. Classic SNN work rate-codes inputs this way; the paper's
+// deterministic bias integration produces the same mean rate with zero
+// count variance, which is worth about a point of accuracy at T=64 (see
+// the input-coding ablation).
+type PoissonEncoder struct {
+	rates  []float64
+	spikes []bool
+	rng    *rng.Source
+}
+
+// NewPoissonEncoder returns an encoder over n neurons.
+func NewPoissonEncoder(n int, seed uint64) *PoissonEncoder {
+	return &PoissonEncoder{
+		rates:  make([]float64, n),
+		spikes: make([]bool, n),
+		rng:    rng.New(seed),
+	}
+}
+
+// Len returns the number of input neurons.
+func (e *PoissonEncoder) Len() int { return len(e.rates) }
+
+// SetRates programs per-neuron firing probabilities (clamped to [0,1]).
+func (e *PoissonEncoder) SetRates(r []float64) {
+	if len(r) != len(e.rates) {
+		panic("spike: rate length mismatch")
+	}
+	for i, v := range r {
+		e.rates[i] = fixed.ClampF(v, 0, 1)
+	}
+}
+
+// Step draws one timestep of spikes.
+func (e *PoissonEncoder) Step() []bool {
+	for i, r := range e.rates {
+		e.spikes[i] = e.rng.Bernoulli(r)
+	}
+	return e.spikes
+}
+
+// Counter accumulates spike counts per neuron over a window.
+type Counter struct {
+	Counts []int
+}
+
+// NewCounter returns a counter over n neurons.
+func NewCounter(n int) *Counter { return &Counter{Counts: make([]int, n)} }
+
+// Observe adds the current spike vector.
+func (c *Counter) Observe(spikes []bool) {
+	for i, s := range spikes {
+		if s {
+			c.Counts[i]++
+		}
+	}
+}
+
+// Reset zeroes all counts.
+func (c *Counter) Reset() {
+	for i := range c.Counts {
+		c.Counts[i] = 0
+	}
+}
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int {
+	t := 0
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Trace is a bank of Loihi-style saturating trace counters: on each
+// presynaptic/postsynaptic spike the trace is incremented by Impulse, and
+// every step it decays by the configured shift (tau=0 disables decay,
+// giving a plain saturating spike counter — the configuration EMSTDP uses,
+// where traces hold phase spike counts).
+type Trace struct {
+	Impulse    int
+	DecayNum   int // decay multiplier numerator; trace = trace*DecayNum>>DecayShift
+	DecayShift uint
+	vals       []int
+}
+
+// NewTrace returns a trace bank of n counters with the given impulse and
+// no decay.
+func NewTrace(n, impulse int) *Trace {
+	return &Trace{Impulse: impulse, DecayNum: 1, DecayShift: 0, vals: make([]int, n)}
+}
+
+// Step applies decay then adds impulses for the given spikes.
+func (t *Trace) Step(spikes []bool) {
+	for i := range t.vals {
+		if t.DecayShift > 0 {
+			t.vals[i] = (t.vals[i] * t.DecayNum) >> t.DecayShift
+		}
+		if spikes[i] {
+			t.vals[i] = int(fixed.SatTrace(int64(t.vals[i]) + int64(t.Impulse)))
+		}
+	}
+}
+
+// Get returns the trace value for neuron i.
+func (t *Trace) Get(i int) int { return t.vals[i] }
+
+// Values returns the underlying trace values (not a copy).
+func (t *Trace) Values() []int { return t.vals }
+
+// Reset zeroes the trace bank.
+func (t *Trace) Reset() {
+	for i := range t.vals {
+		t.vals[i] = 0
+	}
+}

@@ -1,0 +1,275 @@
+package spike
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emstdp/internal/fixed"
+)
+
+// The §III-D property: an input neuron with bias i and threshold θ emits
+// exactly floor(i·T/θ) spikes over T steps.
+func TestBiasEncoderExactRate(t *testing.T) {
+	const T = 64
+	const theta = 1.0
+	enc := NewBiasEncoder(1, theta)
+	for _, bias := range []float64{0, 1.0 / T, 0.25, 0.5, 0.999, 1.0} {
+		enc.Reset()
+		enc.SetBiases([]float64{bias})
+		count := 0
+		for step := 0; step < T; step++ {
+			if enc.Step()[0] {
+				count++
+			}
+		}
+		want := int(bias * T / theta * (1 + 1e-12))
+		if count != want {
+			t.Errorf("bias %v: %d spikes over %d steps, want %d", bias, count, T, want)
+		}
+	}
+}
+
+// Rate is monotone in bias.
+func TestBiasEncoderMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ba := float64(a) / 255
+		bb := float64(b) / 255
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		enc := NewBiasEncoder(2, 1)
+		enc.SetBiases([]float64{ba, bb})
+		ca, cb := 0, 0
+		for i := 0; i < 64; i++ {
+			s := enc.Step()
+			if s[0] {
+				ca++
+			}
+			if s[1] {
+				cb++
+			}
+		}
+		return ca <= cb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Spikes are evenly spread, not bursty: over any window of k steps the
+// count differs from the ideal rate by at most 1.
+func TestBiasEncoderUniformSpacing(t *testing.T) {
+	enc := NewBiasEncoder(1, 1)
+	enc.SetBiases([]float64{0.3})
+	prefix := []int{0}
+	for i := 0; i < 200; i++ {
+		c := prefix[len(prefix)-1]
+		if enc.Step()[0] {
+			c++
+		}
+		prefix = append(prefix, c)
+	}
+	for lo := 0; lo < 150; lo += 7 {
+		for _, win := range []int{10, 30, 50} {
+			got := prefix[lo+win] - prefix[lo]
+			ideal := 0.3 * float64(win)
+			if float64(got) < ideal-1.001 || float64(got) > ideal+1.001 {
+				t.Fatalf("window [%d,%d): %d spikes, ideal %.1f", lo, lo+win, got, ideal)
+			}
+		}
+	}
+}
+
+func TestBiasEncoderReset(t *testing.T) {
+	enc := NewBiasEncoder(1, 1)
+	enc.SetBiases([]float64{0.9})
+	for i := 0; i < 10; i++ {
+		enc.Step()
+	}
+	enc.Reset()
+	// After reset the first spike appears at the same step as from fresh.
+	fresh := NewBiasEncoder(1, 1)
+	fresh.SetBiases([]float64{0.9})
+	for i := 0; i < 20; i++ {
+		if enc.Step()[0] != fresh.Step()[0] {
+			t.Fatal("reset encoder diverges from fresh encoder")
+		}
+	}
+}
+
+func TestSetBiasesValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBiasEncoder(2, 1).SetBiases([]float64{1})
+}
+
+func TestQuantizeToPhase(t *testing.T) {
+	out := QuantizeToPhase([]float64{0, 0.5, 1, 1.5, -0.2}, 64)
+	if out[0] != 0 {
+		t.Errorf("q(0) = %v", out[0])
+	}
+	if out[1] != 0.5 {
+		t.Errorf("q(0.5) = %v", out[1])
+	}
+	if out[2] != 1 {
+		t.Errorf("q(1) = %v", out[2])
+	}
+	if out[3] != 1 {
+		t.Errorf("q(1.5) should clamp to 1, got %v", out[3])
+	}
+	if out[4] != 0 {
+		t.Errorf("q(-0.2) should clamp to 0, got %v", out[4])
+	}
+}
+
+// Quantized values are exact multiples of 1/T — the spike count over T
+// steps is then exactly the bin index.
+func TestQuantizeToPhaseBins(t *testing.T) {
+	f := func(raw uint8, tExp uint8) bool {
+		T := 8 << (tExp % 5) // 8..128
+		v := float64(raw) / 255
+		q := QuantizeToPhase([]float64{v}, T)[0]
+		k := q * float64(T)
+		return k == float64(int(k+0.5))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Quantization then encoding gives exactly the bin count over a phase.
+func TestQuantizeEncodeRoundTrip(t *testing.T) {
+	const T = 64
+	for _, v := range []float64{0.1, 0.33, 0.71, 0.99} {
+		q := QuantizeToPhase([]float64{v}, T)
+		enc := NewBiasEncoder(1, 1)
+		enc.SetBiases(q)
+		count := 0
+		for i := 0; i < T; i++ {
+			if enc.Step()[0] {
+				count++
+			}
+		}
+		wantBin := int(v*T + 0.5)
+		if count != wantBin {
+			t.Errorf("v=%v: %d spikes, want %d", v, count, wantBin)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(3)
+	c.Observe([]bool{true, false, true})
+	c.Observe([]bool{true, false, false})
+	if c.Counts[0] != 2 || c.Counts[1] != 0 || c.Counts[2] != 1 {
+		t.Errorf("counts = %v", c.Counts)
+	}
+	if c.Total() != 3 {
+		t.Errorf("total = %d", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTraceCountsWithoutDecay(t *testing.T) {
+	tr := NewTrace(2, 1)
+	for i := 0; i < 5; i++ {
+		tr.Step([]bool{true, false})
+	}
+	if tr.Get(0) != 5 || tr.Get(1) != 0 {
+		t.Errorf("trace = %v", tr.Values())
+	}
+}
+
+func TestTraceSaturates(t *testing.T) {
+	tr := NewTrace(1, 10)
+	for i := 0; i < 100; i++ {
+		tr.Step([]bool{true})
+	}
+	if tr.Get(0) != fixed.TraceMax {
+		t.Errorf("trace = %d, want saturation at %d", tr.Get(0), fixed.TraceMax)
+	}
+}
+
+func TestTraceDecay(t *testing.T) {
+	tr := NewTrace(1, 64)
+	tr.DecayNum = 1
+	tr.DecayShift = 1      // halve each step
+	tr.Step([]bool{true})  // 64
+	tr.Step([]bool{false}) // 32
+	tr.Step([]bool{false}) // 16
+	if tr.Get(0) != 16 {
+		t.Errorf("decayed trace = %d, want 16", tr.Get(0))
+	}
+	tr.Reset()
+	if tr.Get(0) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestPoissonEncoderRate(t *testing.T) {
+	enc := NewPoissonEncoder(2, 7)
+	enc.SetRates([]float64{0.3, 1.5}) // second clamps to 1
+	c0, c1 := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s := enc.Step()
+		if s[0] {
+			c0++
+		}
+		if s[1] {
+			c1++
+		}
+	}
+	if got := float64(c0) / n; got < 0.27 || got > 0.33 {
+		t.Errorf("poisson rate %.3f, want ~0.3", got)
+	}
+	if c1 != n {
+		t.Errorf("clamped rate-1 neuron fired %d/%d", c1, n)
+	}
+}
+
+// The §III-D trade: over one phase, the deterministic bias encoder's
+// count is exact while the Poisson encoder's varies — same mean, strictly
+// more variance.
+func TestPoissonVsBiasVariance(t *testing.T) {
+	const T = 64
+	const rate = 0.4
+	pe := NewPoissonEncoder(1, 9)
+	pe.SetRates([]float64{rate})
+	var sum, sumSq float64
+	const trials = 300
+	for tr := 0; tr < trials; tr++ {
+		c := 0
+		for i := 0; i < T; i++ {
+			if pe.Step()[0] {
+				c++
+			}
+		}
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if mean < rate*T-2 || mean > rate*T+2 {
+		t.Errorf("poisson mean count %.1f, want ~%.1f", mean, rate*T)
+	}
+	// Binomial variance T·p·(1-p) ≈ 15.4; deterministic coding has 0.
+	if variance < 8 {
+		t.Errorf("poisson count variance %.1f suspiciously low", variance)
+	}
+}
+
+func TestPoissonSetRatesValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPoissonEncoder(2, 1).SetRates([]float64{0.5})
+}
