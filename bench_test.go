@@ -354,6 +354,69 @@ func BenchmarkAblationInputCoding(b *testing.B) {
 	b.ReportMetric(spikes, "direct-host-tx")
 }
 
+// --- Engine (worker pool) benchmarks ---
+
+// benchParallelEvaluate measures the engine-sharded test pass at a given
+// pool width. Speedup over Workers=1 is the Fig-agnostic headline of the
+// execution-engine layer; results are bit-identical across widths.
+func benchParallelEvaluate(b *testing.B, workers int) {
+	m, err := core.Build(core.Options{
+		Dataset: dataset.MNIST, Backend: core.FP,
+		TrainSamples: 200, TestSamples: 200, PretrainEpochs: 1,
+		Workers: workers, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Train(1)
+	m.Evaluate() // build + warm the replicas outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(m.TestFeatures()))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkParallelEvaluate_Workers1(b *testing.B) { benchParallelEvaluate(b, 1) }
+func BenchmarkParallelEvaluate_Workers2(b *testing.B) { benchParallelEvaluate(b, 2) }
+func BenchmarkParallelEvaluate_Workers4(b *testing.B) { benchParallelEvaluate(b, 4) }
+
+// benchBatchedTrain measures the replica-parallel mini-batch training
+// path (batch=8) at a given pool width.
+func benchBatchedTrain(b *testing.B, workers int) {
+	m, err := core.Build(core.Options{
+		Dataset: dataset.MNIST, Backend: core.FP,
+		TrainSamples: 200, TestSamples: 50, PretrainEpochs: 1,
+		Workers: workers, Batch: 8, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainEpoch()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(m.TrainFeatures()))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	b.ReportMetric(m.Evaluate().Accuracy()*100, "acc%")
+}
+
+func BenchmarkBatchedTrain_Workers1(b *testing.B) { benchBatchedTrain(b, 1) }
+func BenchmarkBatchedTrain_Workers4(b *testing.B) { benchBatchedTrain(b, 4) }
+
+// BenchmarkParallelTable1Grid runs a reduced Table I grid through the
+// experiment-level pool (cells sharded across workers).
+func BenchmarkParallelTable1Grid(b *testing.B) {
+	sc := experiments.Scale{TrainSamples: 60, TestSamples: 30, Epochs: 1,
+		PretrainEpochs: 1, EnergySamples: 2, Workers: -1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(sc, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkChipStep measures the simulator's raw step rate on the MNIST

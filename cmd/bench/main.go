@@ -1,0 +1,157 @@
+// Command bench records the performance trajectory of the reproduction
+// in machine-readable form: it times one Table I cell end to end —
+// online training, batched parallel training, sequential and pool-
+// sharded evaluation — and writes ns/op, samples/sec, accuracy and the
+// parallel speedups as JSON. Committed snapshots (BENCH_<pr>.json) let
+// successive PRs compare like with like:
+//
+//	go run ./cmd/bench -out BENCH_1.json
+//	go run ./cmd/bench -backend chip -train 100 -test 50
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"emstdp/internal/core"
+	"emstdp/internal/dataset"
+	"emstdp/internal/emstdp"
+)
+
+// Result is one timed region.
+type Result struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Batch         int     `json:"batch"`
+	Samples       int     `json:"samples"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	Accuracy      float64 `json:"accuracy,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoMaxProcs int      `json:"go_maxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Dataset    string   `json:"dataset"`
+	Backend    string   `json:"backend"`
+	Mode       string   `json:"mode"`
+	TrainN     int      `json:"train_samples"`
+	TestN      int      `json:"test_samples"`
+	Results    []Result `json:"results"`
+	// TrainSpeedup and EvalSpeedup compare the parallel configurations
+	// against their sequential counterparts on this machine.
+	TrainSpeedup float64 `json:"train_speedup"`
+	EvalSpeedup  float64 `json:"eval_speedup"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	backendName := flag.String("backend", "fp", "table I cell backend: fp or chip")
+	trainN := flag.Int("train", 400, "training samples")
+	testN := flag.Int("test", 200, "test samples")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "pool width for the parallel measurements")
+	batch := flag.Int("batch", 8, "mini-batch size for the parallel training measurement")
+	flag.Parse()
+
+	var backend core.Backend
+	switch *backendName {
+	case "fp":
+		backend = core.FP
+	case "chip":
+		backend = core.Chip
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown backend %q (want fp or chip)\n", *backendName)
+		os.Exit(2)
+	}
+	// Clamp so the emitted labels match what core actually runs.
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	build := func(w, b int) *core.Model {
+		m, err := core.Build(core.Options{
+			Dataset:        dataset.MNIST,
+			Backend:        backend,
+			Mode:           emstdp.DFA,
+			TrainSamples:   *trainN,
+			TestSamples:    *testN,
+			PretrainEpochs: 1,
+			Workers:        w,
+			Batch:          b,
+			Seed:           1,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return m
+	}
+
+	rep := Report{
+		Schema:     "emstdp-bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    dataset.MNIST.String(),
+		Backend:    backend.String(),
+		Mode:       emstdp.DFA.String(),
+		TrainN:     *trainN,
+		TestN:      *testN,
+	}
+	timed := func(name string, w, b, samples int, fn func()) Result {
+		start := time.Now()
+		fn()
+		el := time.Since(start)
+		r := Result{
+			Name: name, Workers: w, Batch: b, Samples: samples,
+			NsPerOp:       float64(el.Nanoseconds()) / float64(samples),
+			SamplesPerSec: float64(samples) / el.Seconds(),
+		}
+		return r
+	}
+
+	// Sequential baseline: the paper's online protocol.
+	seq := build(1, 1)
+	rTrainSeq := timed("train_online_sequential", 1, 1, *trainN, func() { seq.Train(1) })
+	rTrainSeq.Accuracy = seq.Evaluate().Accuracy()
+	rEvalSeq := timed("evaluate_sequential", 1, 1, *testN, func() { seq.Evaluate() })
+	rEvalSeq.Accuracy = rTrainSeq.Accuracy
+
+	// Parallel training: batched replicas through the engine pool.
+	par := build(*workers, *batch)
+	rTrainPar := timed("train_batched_parallel", *workers, *batch, *trainN, func() { par.Train(1) })
+	rTrainPar.Accuracy = par.Evaluate().Accuracy()
+
+	// Parallel evaluation on the same trained weights.
+	rEvalPar := timed("evaluate_parallel", *workers, *batch, *testN, func() { par.Evaluate() })
+	rEvalPar.Accuracy = rTrainPar.Accuracy
+
+	rep.Results = []Result{rTrainSeq, rEvalSeq, rTrainPar, rEvalPar}
+	rep.TrainSpeedup = rTrainSeq.NsPerOp / rTrainPar.NsPerOp
+	rep.EvalSpeedup = rEvalSeq.NsPerOp / rEvalPar.NsPerOp
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: wrote %s (train %.2fx, eval %.2fx at %d workers)\n",
+		*out, rep.TrainSpeedup, rep.EvalSpeedup, *workers)
+}

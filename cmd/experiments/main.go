@@ -20,6 +20,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig3, fig4, ablations, adaptation or all")
 	scale := flag.String("scale", "quick", "run scale: quick or full")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 1, "engine pool width for sweep grids (1 = sequential, -1 = GOMAXPROCS)")
+	batch := flag.Int("batch", 1, "training mini-batch size (1 = the paper's online protocol)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -32,6 +34,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	sc.Workers = *workers
+	sc.Batch = *batch
 
 	run := func(name string, f func() error) {
 		start := time.Now()

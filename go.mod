@@ -1,0 +1,3 @@
+module emstdp
+
+go 1.24

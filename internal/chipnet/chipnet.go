@@ -136,6 +136,16 @@ type Network struct {
 	phaseOn   []int32
 	phaseOff  []int32
 	zeroLabel []int32
+
+	// convStack and the input geometry are retained from NewWithConv so
+	// replicas can rebuild the same netlist (the stack itself is frozen
+	// and shared read-only).
+	convStack           *ann.ConvStack
+	convC, convH, convW int
+
+	// pendingLabel is the target programmed by the last ProgramSample
+	// (-1 for an inference-only pass).
+	pendingLabel int
 }
 
 // New builds a feature-input network (the dense trainable part only).
@@ -170,6 +180,7 @@ func NewWithConv(cfg Config, cs *ann.ConvStack, inC, inH, inW int) (*Network, er
 	if err != nil {
 		return nil, err
 	}
+	n.convStack, n.convC, n.convH, n.convW = cs, inC, inH, inW
 	if err := n.buildConv(cs, inC, inH, inW); err != nil {
 		return nil, err
 	}
@@ -189,7 +200,7 @@ func newCommon(cfg Config) (*Network, error) {
 	if cfg.Theta <= 0 || cfg.Theta&(cfg.Theta-1) != 0 {
 		return nil, fmt.Errorf("chipnet: Theta=%d must be a positive power of two", cfg.Theta)
 	}
-	n := &Network{cfg: cfg, chip: loihi.New(cfg.HW), perCoreOf: map[*loihi.Population]int{}}
+	n := &Network{cfg: cfg, chip: loihi.New(cfg.HW), perCoreOf: map[*loihi.Population]int{}, pendingLabel: -1}
 	n.phaseOn = []int32{16}
 	n.phaseOff = []int32{0}
 	n.zeroLabel = make([]int32, cfg.LayerSizes[len(cfg.LayerSizes)-1])

@@ -60,47 +60,76 @@ func (n *Network) programLabel(label int) {
 // h′ gates and clears the phase traces, phase 2 drives the rates to ĥ,
 // and the learning epoch applies the eq-12 update from traces and tags.
 func (n *Network) TrainSample(x []float64, label int) {
-	if n.cfg.InferenceOnly {
-		panic("chipnet: TrainSample on an inference-only deployment")
+	if label < 0 {
+		panic(fmt.Sprintf("chipnet: label %d out of range", label))
 	}
-	if label < 0 || label >= n.label.N {
-		panic(fmt.Sprintf("chipnet: label %d out of range [0,%d)", label, n.label.N))
-	}
-	n.chip.ResetState()
-	n.programInput(x)
-	n.label.SetBiases(n.zeroLabel)
-	n.phase.SetBiases(n.phaseOff)
-
-	n.chip.Run(n.cfg.T) // phase 1
-
-	n.chip.LatchGates()
-	n.chip.ResetPhaseTraces()
-	n.chip.ResetMembranes()
-	n.programLabel(label)
-	n.phase.SetBiases(n.phaseOn)
-	n.chip.CountHostTransaction(1) // the phase-control bias write
-
-	n.chip.Run(n.cfg.T) // phase 2
-
-	n.chip.ApplyLearning()
+	n.ProgramSample(x, label)
+	n.RunPhases(true)
+	n.ApplyUpdate(nil)
 }
 
-// Counts classifies x with a phase-1-only pass (inference mode: the
-// error path stays gated off) and returns output spike counts.
-func (n *Network) Counts(x []float64) []int {
+// ProgramSample resets the chip's dynamic state and programs one
+// sample's input biases; label >= 0 stages a training target for
+// RunPhases(true), label < 0 programs an inference-only pass. First step
+// of the engine.Runner protocol.
+func (n *Network) ProgramSample(x []float64, label int) {
+	if label >= 0 {
+		if n.cfg.InferenceOnly {
+			panic("chipnet: training sample on an inference-only deployment")
+		}
+		if label >= n.label.N {
+			panic(fmt.Sprintf("chipnet: label %d out of range [0,%d)", label, n.label.N))
+		}
+	}
 	n.chip.ResetState()
 	n.programInput(x)
 	if n.label != nil {
 		n.label.SetBiases(n.zeroLabel)
 		n.phase.SetBiases(n.phaseOff)
 	}
-	n.chip.Run(n.cfg.T)
+	n.pendingLabel = label
+}
+
+// RunPhases executes phase 1 and, when train is true, the phase
+// boundary (gate latch, trace and membrane reset, label and
+// phase-control writes) plus phase 2. The learning epoch is NOT fired —
+// that is ApplyUpdate, so a replica can run the phases while the master
+// applies the update.
+func (n *Network) RunPhases(train bool) {
+	n.chip.Run(n.cfg.T) // phase 1
+	if !train {
+		return
+	}
+	if n.pendingLabel < 0 {
+		panic("chipnet: RunPhases(train) without a labelled ProgramSample")
+	}
+	n.chip.LatchGates()
+	n.chip.ResetPhaseTraces()
+	n.chip.ResetMembranes()
+	n.programLabel(n.pendingLabel)
+	n.phase.SetBiases(n.phaseOn)
+	n.chip.CountHostTransaction(1) // the phase-control bias write
+
+	n.chip.Run(n.cfg.T) // phase 2
+}
+
+// ReadCounts returns the output layer's spike counts from the most
+// recent RunPhases.
+func (n *Network) ReadCounts() []int {
 	out := n.fwd[len(n.fwd)-1]
 	counts := make([]int, out.N)
 	for i := range counts {
 		counts[i] = int(out.PostTrace(i))
 	}
 	return counts
+}
+
+// Counts classifies x with a phase-1-only pass (inference mode: the
+// error path stays gated off) and returns output spike counts.
+func (n *Network) Counts(x []float64) []int {
+	n.ProgramSample(x, -1)
+	n.RunPhases(false)
+	return n.ReadCounts()
 }
 
 // Predict returns the argmax class for x, breaking spike-count ties with

@@ -17,11 +17,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"emstdp/internal/ann"
 	"emstdp/internal/chipnet"
 	"emstdp/internal/dataset"
 	"emstdp/internal/emstdp"
+	"emstdp/internal/engine"
 	"emstdp/internal/metrics"
 	"emstdp/internal/rng"
 	"emstdp/internal/tensor"
@@ -74,6 +76,19 @@ type Options struct {
 	// equivalent, runtime much lower, so experiments that only need the
 	// dense part's learning behaviour use false.
 	ConvOnChip bool
+	// Workers is the engine worker-pool width for Train and Evaluate.
+	// 0 or 1 (the default) is fully sequential; negative selects
+	// GOMAXPROCS. Results are bit-identical across widths at a fixed
+	// seed: evaluation is sharded over weight-synchronised replicas, and
+	// batched training applies replica-computed updates on the master in
+	// sample order.
+	Workers int
+	// Batch is the training mini-batch size. 1 (the default) is the
+	// paper's online protocol (§IV-A) and runs sequentially regardless
+	// of Workers. Batch > 1 computes each batch member's update from the
+	// batch-start weights on pool replicas — a different (data-parallel)
+	// protocol whose results depend on Batch but not on Workers.
+	Batch int
 	// Seed drives every random choice (default 1).
 	Seed uint64
 }
@@ -96,6 +111,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NeuronsPerCore == 0 {
 		o.NeuronsPerCore = 10
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	} else if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -120,6 +143,10 @@ type Model struct {
 	trainFeat []metrics.Sample
 	testFeat  []metrics.Sample
 	shuffler  *rng.Source
+
+	// grp lazily binds the backend to the engine's worker pool; built on
+	// the first parallel Train/Evaluate.
+	grp *engine.Group
 }
 
 // Build generates the dataset, pretrains and calibrates the conv stack,
@@ -241,18 +268,69 @@ func (m *Model) SetLRReduced(reduced bool) {
 	m.chip.SetLRReduced(reduced)
 }
 
+// Runner returns the backend as the engine's execution contract.
+func (m *Model) Runner() engine.Runner {
+	if m.fp != nil {
+		return m.fp
+	}
+	return m.chip
+}
+
+// Group returns the engine replica group driving parallel Train and
+// Evaluate, building it (and its worker pool) on first use.
+func (m *Model) Group() *engine.Group {
+	if m.grp == nil {
+		m.grp = engine.NewGroup(m.Runner(), engine.NewPool(m.Opts.Workers))
+	}
+	return m.grp
+}
+
+// backendSamples returns the training or test split in the encoding the
+// backend consumes: raw pixels when the conv stack is mapped on-chip,
+// cached conv features otherwise.
+func (m *Model) backendSamples(train bool) []metrics.Sample {
+	feat := m.testFeat
+	raw := m.DS.Test
+	if train {
+		feat, raw = m.trainFeat, m.DS.Train
+	}
+	if m.chip == nil || !m.Opts.ConvOnChip {
+		return feat
+	}
+	out := make([]metrics.Sample, len(raw))
+	for i, s := range raw {
+		out[i] = metrics.Sample{X: s.Image.Data, Y: s.Label}
+	}
+	return out
+}
+
 // TrainEpoch streams the whole training split once, in a fresh random
-// order (online learning: batch size 1, no augmentation — §IV-A).
+// order. With the default Batch=1 this is the paper's online protocol
+// (batch size 1, no augmentation — §IV-A), executed sequentially on the
+// backend. Batch > 1 shards each mini-batch's two-phase passes across
+// the worker pool's replicas and applies the updates in sample order.
 func (m *Model) TrainEpoch() {
 	order := m.shuffler.Perm(len(m.trainFeat))
-	for _, idx := range order {
-		if m.chip != nil && m.Opts.ConvOnChip {
-			s := m.DS.Train[idx]
-			m.chip.TrainSample(s.Image.Data, s.Label)
-			continue
+	if m.Opts.Batch <= 1 {
+		for _, idx := range order {
+			if m.chip != nil && m.Opts.ConvOnChip {
+				s := m.DS.Train[idx]
+				m.chip.TrainSample(s.Image.Data, s.Label)
+				continue
+			}
+			s := m.trainFeat[idx]
+			m.TrainSample(s.X, s.Y)
 		}
-		s := m.trainFeat[idx]
-		m.TrainSample(s.X, s.Y)
+		return
+	}
+	samples := m.backendSamples(true)
+	if err := m.Group().Train(samples, order, m.Opts.Batch); err != nil {
+		// Replica construction can only fail on backend config errors
+		// that Build would already have surfaced; fall back to the
+		// online path rather than dropping the epoch.
+		for _, idx := range order {
+			m.TrainSample(samples[idx].X, samples[idx].Y)
+		}
 	}
 }
 
@@ -264,12 +342,21 @@ func (m *Model) Train(epochs int) {
 }
 
 // Evaluate classifies the test split and returns the confusion matrix.
+// With Workers > 1 the split is sharded across weight-synchronised
+// replicas; predictions are accumulated in sample order, so the matrix
+// is bit-identical to the sequential pass.
 func (m *Model) Evaluate() *metrics.Confusion {
+	samples := m.backendSamples(false)
+	if m.Opts.Workers > 1 && len(samples) > 1 {
+		if cm, err := m.Group().Evaluate(samples, m.DS.NumClasses); err == nil {
+			return cm
+		}
+	}
 	cm := metrics.NewConfusion(m.DS.NumClasses)
-	for i, s := range m.testFeat {
+	for _, s := range samples {
 		var pred int
 		if m.chip != nil && m.Opts.ConvOnChip {
-			pred = m.chip.Predict(m.DS.Test[i].Image.Data)
+			pred = m.chip.Predict(s.X)
 		} else {
 			pred = m.Predict(s.X)
 		}

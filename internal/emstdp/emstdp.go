@@ -171,6 +171,9 @@ type Network struct {
 	outputDisabled []bool
 	eta            float64
 	quantRNG       *rng.Source // stochastic rounding bits for QuantBits
+	// pendingLabel is the target programmed by the last ProgramSample
+	// (-1 for an inference-only pass).
+	pendingLabel int
 }
 
 // New builds an EMSTDP network. LayerSizes must name at least input and
@@ -183,7 +186,7 @@ func New(cfg Config) *Network {
 		panic("emstdp: phase length T must be positive")
 	}
 	r := rng.New(cfg.Seed)
-	n := &Network{cfg: cfg, eta: cfg.Eta, quantRNG: rng.New(cfg.Seed ^ 0xabcd1234)}
+	n := &Network{cfg: cfg, eta: cfg.Eta, quantRNG: rng.New(cfg.Seed ^ 0xabcd1234), pendingLabel: -1}
 	in := cfg.LayerSizes[0]
 	out := cfg.LayerSizes[len(cfg.LayerSizes)-1]
 	n.enc = spike.NewBiasEncoder(in, cfg.Theta)
@@ -390,12 +393,9 @@ func (n *Network) Predict(x []float64) int {
 
 // Counts runs a phase-1 pass and returns the output layer spike counts.
 func (n *Network) Counts(x []float64) []int {
-	n.reset()
-	n.setInput(x)
-	n.phase1()
-	out := make([]int, n.layers[len(n.layers)-1].Out)
-	copy(out, n.h1[len(n.h1)-1].Counts)
-	return out
+	n.ProgramSample(x, -1)
+	n.RunPhases(false)
+	return n.ReadCounts()
 }
 
 // HiddenCounts returns the phase-1 spike counts of trainable layer li
@@ -405,15 +405,27 @@ func (n *Network) HiddenCounts(li int) []int { return n.h1[li].Counts }
 // TrainSample runs the full two-phase EMSTDP update on one labelled
 // sample. x holds input rates in [0,1]; label is the class index.
 func (n *Network) TrainSample(x []float64, label int) {
+	n.ProgramSample(x, label)
+	n.RunPhases(true)
+	n.ApplyUpdate(nil)
+}
+
+// ProgramSample resets dynamic state and loads one sample: input biases
+// from rates in [0,1] and, when label >= 0, the label-neuron target
+// biases (the paper inserts the label as bias on the label neurons,
+// which then fire at the target rate). label < 0 programs an
+// inference-only pass. First step of the engine.Runner protocol.
+func (n *Network) ProgramSample(x []float64, label int) {
 	out := n.layers[len(n.layers)-1].Out
-	if label < 0 || label >= out {
+	if label >= out {
 		panic(fmt.Sprintf("emstdp: label %d out of range [0,%d)", label, out))
 	}
 	n.reset()
 	n.setInput(x)
-
-	// Label biases: the paper inserts the label as bias on the label
-	// neurons, which then fire at the target rate.
+	n.pendingLabel = label
+	if label < 0 {
+		return
+	}
 	lb := make([]float64, out)
 	for j := 0; j < out; j++ {
 		rate := n.cfg.TargetLow
@@ -423,9 +435,19 @@ func (n *Network) TrainSample(x []float64, label int) {
 		lb[j] = rate * n.cfg.Theta
 	}
 	n.labelEnc.SetBiases(lb)
+}
 
+// RunPhases executes phase 1 and, when train is true, the phase boundary
+// plus the error-driven phase 2 of the programmed sample.
+func (n *Network) RunPhases(train bool) {
 	// Phase 1: settle at h.
 	n.phase1()
+	if !train {
+		return
+	}
+	if n.pendingLabel < 0 {
+		panic("emstdp: RunPhases(train) without a labelled ProgramSample")
+	}
 
 	// Phase boundary: reset forward membranes so both phases measure the
 	// network from the same initial state. Without this, the encoder and
@@ -439,6 +461,7 @@ func (n *Network) TrainSample(x []float64, label int) {
 	}
 
 	// Phase 2: errors correct the forward rates toward ĥ.
+	out := n.layers[len(n.layers)-1].Out
 	outLayer := n.layers[len(n.layers)-1]
 	for t := 0; t < n.cfg.T; t++ {
 		n.forwardStep(n.encCount, n.h2)
@@ -471,8 +494,6 @@ func (n *Network) TrainSample(x []float64, label int) {
 		// Hidden corrections via FA chain or DFA broadcast.
 		n.propagateHiddenErrors(eOut)
 	}
-
-	n.applyUpdates()
 }
 
 // outputGate suppresses error spikes of disabled output neurons.
@@ -574,19 +595,24 @@ func (n *Network) gateHi() int {
 	return n.cfg.T / 2
 }
 
-// applyUpdates performs eq (7): Δw = η·(ĥ−h)/T · h_pre/T for every
-// trainable layer, with phase-2 presynaptic counts.
-func (n *Network) applyUpdates() {
+// applyFrom performs eq (7): Δw = η·(ĥ−h)/T · h_pre/T for every
+// trainable layer, from the given phase counters (encoder phase-2
+// counts, then per-layer phase-1 and phase-2 counts). Counters may come
+// from this network's own RunPhases or from a replica's captured update;
+// either way the stochastic-rounding bits are drawn from THIS network's
+// quantRNG, which keeps replica-computed training bit-identical to the
+// sequential walk.
+func (n *Network) applyFrom(enc []int, h1, h2 [][]int) {
 	T := float64(n.cfg.T)
 	for li, layer := range n.layers {
 		var pre []int
 		if li == 0 {
-			pre = n.encCount.Counts
+			pre = enc
 		} else {
-			pre = n.h2[li-1].Counts
+			pre = h2[li-1]
 		}
-		post1 := n.h1[li].Counts
-		post2 := n.h2[li].Counts
+		post1 := h1[li]
+		post2 := h2[li]
 		isOutput := li == len(n.layers)-1
 		for o := 0; o < layer.Out; o++ {
 			if isOutput && n.outputDisabled[o] {

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+
+	"emstdp/internal/metrics"
+)
+
+// Group binds a master Runner to a set of lazily-built replicas so
+// evaluation and mini-batch training can be sharded across a Pool while
+// staying bit-identical to the sequential path. The master holds the
+// authoritative weights; replicas are synchronised from it before every
+// parallel region.
+type Group struct {
+	pool   *Pool
+	master Runner
+	// replicas[0] is the master itself; higher slots are clones.
+	replicas []Runner
+}
+
+// NewGroup wraps master for execution through pool.
+func NewGroup(master Runner, pool *Pool) *Group {
+	if pool == nil {
+		pool = NewPool(1)
+	}
+	return &Group{pool: pool, master: master, replicas: []Runner{master}}
+}
+
+// Master returns the authoritative runner.
+func (g *Group) Master() Runner { return g.master }
+
+// Pool returns the group's worker pool.
+func (g *Group) Pool() *Pool { return g.pool }
+
+// ensureReplicas grows the replica set to at least w runners and
+// synchronises every clone's weights with the master.
+func (g *Group) ensureReplicas(w int) error {
+	for len(g.replicas) < w {
+		r, err := g.master.CloneRunner()
+		if err != nil {
+			return fmt.Errorf("engine: cloning replica %d: %w", len(g.replicas), err)
+		}
+		g.replicas = append(g.replicas, r)
+	}
+	return g.sync(w)
+}
+
+// sync refreshes the first w replicas' weights from the master
+// (replicas[0] is the master and needs no copy).
+func (g *Group) sync(w int) error {
+	for i := 1; i < w && i < len(g.replicas); i++ {
+		if err := g.replicas[i].SyncWeights(g.master); err != nil {
+			return fmt.Errorf("engine: syncing replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Predict classifies every sample and returns predictions indexed like
+// samples. Samples are sharded across the pool's replicas; because a
+// prediction is a pure function of (weights, input), the result equals
+// the sequential pass for any pool width.
+func (g *Group) Predict(samples []metrics.Sample) ([]int, error) {
+	preds := make([]int, len(samples))
+	w := g.pool.effective(len(samples))
+	if w <= 1 {
+		for i, s := range samples {
+			preds[i] = g.master.Predict(s.X)
+		}
+		return preds, nil
+	}
+	if err := g.ensureReplicas(w); err != nil {
+		return nil, err
+	}
+	g.pool.Map(len(samples), func(worker, i int) {
+		preds[i] = g.replicas[worker].Predict(samples[i].X)
+	})
+	return preds, nil
+}
+
+// Evaluate classifies every sample through Predict and accumulates the
+// confusion matrix in sample order.
+func (g *Group) Evaluate(samples []metrics.Sample, classes int) (*metrics.Confusion, error) {
+	preds, err := g.Predict(samples)
+	if err != nil {
+		return nil, err
+	}
+	cm := metrics.NewConfusion(classes)
+	for i, s := range samples {
+		cm.Observe(s.Y, preds[i])
+	}
+	return cm, nil
+}
+
+// Train streams samples[order[0]], samples[order[1]], … through the
+// EMSTDP update in mini-batches of the given size.
+//
+// batch <= 1 is the paper's online protocol and runs sequentially on the
+// master. For batch > 1, every batch member's two-phase pass runs on a
+// replica holding the batch-start weights, the captured updates are
+// applied to the master in sample order (consuming the master's
+// stochastic-rounding streams exactly as a sequential walk would), and
+// the replicas resynchronise before the next batch. Results therefore
+// depend on the batch size but not on the pool width.
+func (g *Group) Train(samples []metrics.Sample, order []int, batch int) error {
+	if batch <= 1 {
+		for _, idx := range order {
+			s := samples[idx]
+			g.master.ProgramSample(s.X, s.Y)
+			g.master.RunPhases(true)
+			g.master.ApplyUpdate(nil)
+		}
+		return nil
+	}
+	w := g.pool.effective(batch)
+	if err := g.ensureReplicas(w); err != nil {
+		return err
+	}
+	updates := make([]Update, batch)
+	for start := 0; start < len(order); start += batch {
+		end := start + batch
+		if end > len(order) {
+			end = len(order)
+		}
+		nb := end - start
+		if err := g.sync(w); err != nil {
+			return err
+		}
+		g.pool.Map(nb, func(worker, j int) {
+			r := g.replicas[worker]
+			s := samples[order[start+j]]
+			r.ProgramSample(s.X, s.Y)
+			r.RunPhases(true)
+			updates[j] = r.CaptureUpdate()
+		})
+		for j := 0; j < nb; j++ {
+			g.master.ApplyUpdate(updates[j])
+		}
+	}
+	return nil
+}

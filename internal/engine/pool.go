@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"emstdp/internal/rng"
+)
+
+// Pool is a fixed-width worker pool for sharding independent work items
+// (test samples, batch members, sweep cells) across goroutines. Work is
+// partitioned into contiguous index ranges, one per worker, so the
+// worker→item assignment is a pure function of (n, Workers) and results
+// accumulated by index are deterministic.
+type Pool struct {
+	// Workers is the pool width. NewPool clamps non-positive requests to
+	// GOMAXPROCS.
+	Workers int
+}
+
+// NewPool returns a pool of the given width; workers <= 0 selects
+// GOMAXPROCS (the "as fast as the hardware allows" default).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{Workers: workers}
+}
+
+// effective returns the number of goroutines to launch for n items.
+func (p *Pool) effective(n int) int {
+	w := p.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Map runs fn(worker, i) for every i in [0, n), sharding the index space
+// into contiguous chunks across the pool: worker w handles
+// [w·n/W, (w+1)·n/W). fn must not touch another worker's state; writes
+// indexed by i (to pre-sized slices) need no further synchronisation.
+// With one worker (or n <= 1) everything runs on the calling goroutine.
+func (p *Pool) Map(n int, fn func(worker, i int)) {
+	w := p.effective(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := k*n/w, (k+1)*n/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(worker, i)
+			}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapSeeded is Map with a deterministic per-worker random stream: worker
+// w receives the w-th child split of rng.New(seed). Child streams are
+// decorrelated through SplitMix64 reseeding, so stochastic work done by
+// one worker is independent of the others — but note that which items a
+// worker handles depends on the pool width, so MapSeeded results are
+// deterministic for a fixed (seed, Workers, n) triple, not across
+// widths. Work needing width-independent determinism should derive its
+// randomness from the item index instead.
+func (p *Pool) MapSeeded(seed uint64, n int, fn func(worker int, r *rng.Source, i int)) {
+	w := p.effective(n)
+	parent := rng.New(seed)
+	streams := make([]*rng.Source, w)
+	for k := range streams {
+		streams[k] = parent.Split()
+	}
+	p.Map(n, func(worker, i int) {
+		fn(worker, streams[worker], i)
+	})
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"emstdp/internal/rng"
+)
+
+func TestPoolMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		p := NewPool(workers)
+		const n = 23
+		var mu sync.Mutex
+		seen := make([]int, n)
+		p.Map(n, func(_, i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolChunkingIsContiguousAndDeterministic(t *testing.T) {
+	p := NewPool(3)
+	const n = 10
+	var mu sync.Mutex
+	owner := make([]int, n)
+	p.Map(n, func(w, i int) {
+		mu.Lock()
+		owner[i] = w
+		mu.Unlock()
+	})
+	// Worker w owns [w·n/W, (w+1)·n/W): a pure function of (n, W).
+	for i := 0; i < n; i++ {
+		want := -1
+		for w := 0; w < 3; w++ {
+			if i >= w*n/3 && i < (w+1)*n/3 {
+				want = w
+			}
+		}
+		if owner[i] != want {
+			t.Fatalf("index %d owned by worker %d, want %d", i, owner[i], want)
+		}
+	}
+}
+
+func TestPoolZeroWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if p := NewPool(0); p.Workers < 1 {
+		t.Fatalf("NewPool(0).Workers = %d", p.Workers)
+	}
+}
+
+func TestMapSeededStreamsAreDeterministicAndPerWorker(t *testing.T) {
+	p := NewPool(4)
+	const n = 4 // one item per worker
+	run := func() [][]uint64 {
+		out := make([][]uint64, n)
+		p.MapSeeded(99, n, func(_ int, r *rng.Source, i int) {
+			vals := make([]uint64, 8)
+			for k := range vals {
+				vals[k] = r.Uint64()
+			}
+			out[i] = vals
+		})
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatalf("stream %d not deterministic at draw %d", i, k)
+			}
+		}
+	}
+	// Distinct workers must see decorrelated streams.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same := 0
+			for k := range a[i] {
+				if a[i][k] == a[j][k] {
+					same++
+				}
+			}
+			if same == len(a[i]) {
+				t.Fatalf("workers %d and %d share a stream", i, j)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"emstdp/internal/core"
 	"emstdp/internal/dataset"
@@ -50,7 +51,9 @@ func runVariant(m *core.Model, cfg emstdp.Config, epochs int) float64 {
 // Ablations sweeps the design choices DESIGN.md calls out on the MNIST
 // task: the h′ gate, the phase length T (§IV-A2's quality/throughput
 // trade), and the synaptic weight precision (the source of the paper's
-// Loihi-vs-FP accuracy gap).
+// Loihi-vs-FP accuracy gap). Variants train fresh networks against the
+// shared (read-only) feature split, so the sweep shards variant-per-
+// worker through the engine pool.
 func Ablations(sc Scale, seed uint64, progress io.Writer) ([]AblationResult, error) {
 	m, err := buildFeatures(sc, seed)
 	if err != nil {
@@ -61,19 +64,18 @@ func Ablations(sc Scale, seed uint64, progress io.Writer) ([]AblationResult, err
 		cfg.Seed = seed + 3
 		return cfg
 	}
-	var results []AblationResult
-	record := func(study, value string, acc float64) {
-		results = append(results, AblationResult{Study: study, Value: value, Accuracy: acc})
-		if progress != nil {
-			fmt.Fprintf(progress, "ablation %-12s %-6s %.1f%%\n", study, value, acc*100)
-		}
+
+	type variant struct {
+		study, value string
+		cfg          emstdp.Config
 	}
+	var variants []variant
 
 	// h′ gating (the multi-compartment AND, §III-A).
 	for _, gate := range []bool{true, false} {
 		cfg := base()
 		cfg.GateHidden = gate
-		record("gate", fmt.Sprintf("%v", gate), runVariant(m, cfg, sc.Epochs))
+		variants = append(variants, variant{"gate", fmt.Sprintf("%v", gate), cfg})
 	}
 
 	// Phase length T (§IV-A2): throughput scales 1/T, quality rises
@@ -81,7 +83,7 @@ func Ablations(sc Scale, seed uint64, progress io.Writer) ([]AblationResult, err
 	for _, T := range []int{16, 32, 64, 128} {
 		cfg := base()
 		cfg.T = T
-		record("phaseLen", fmt.Sprintf("T=%d", T), runVariant(m, cfg, sc.Epochs))
+		variants = append(variants, variant{"phaseLen", fmt.Sprintf("T=%d", T), cfg})
 	}
 
 	// Weight precision: k-bit grids with stochastic rounding; 0 = full
@@ -93,15 +95,29 @@ func Ablations(sc Scale, seed uint64, progress io.Writer) ([]AblationResult, err
 		if bits == 0 {
 			name = "float64"
 		}
-		record("precision", name, runVariant(m, cfg, sc.Epochs))
+		variants = append(variants, variant{"precision", name, cfg})
 	}
 
 	// Feedback mode on identical features.
 	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
 		cfg := base()
 		cfg.Mode = mode
-		record("feedback", mode.String(), runVariant(m, cfg, sc.Epochs))
+		variants = append(variants, variant{"feedback", mode.String(), cfg})
 	}
+
+	results := make([]AblationResult, len(variants))
+	var mu sync.Mutex
+	_ = mapGrid(sc.pool(), len(variants), func(i int) error {
+		v := variants[i]
+		acc := runVariant(m, v.cfg, sc.Epochs)
+		results[i] = AblationResult{Study: v.study, Value: v.value, Accuracy: acc}
+		if progress != nil {
+			mu.Lock()
+			fmt.Fprintf(progress, "ablation %-12s %-6s %.1f%%\n", v.study, v.value, acc*100)
+			mu.Unlock()
+		}
+		return nil
+	})
 	return results, nil
 }
 

@@ -9,12 +9,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"emstdp/internal/chipnet"
 	"emstdp/internal/core"
 	"emstdp/internal/dataset"
 	"emstdp/internal/emstdp"
 	"emstdp/internal/energy"
+	"emstdp/internal/engine"
 	"emstdp/internal/incremental"
 )
 
@@ -28,6 +30,40 @@ type Scale struct {
 	// EnergySamples is the number of training/testing samples simulated
 	// to collect activity counters for Table II / Fig 3.
 	EnergySamples int
+	// Workers is the engine pool width for sweep grids: Table I cells,
+	// Fig 3 mapping points and ablation variants are independent, so the
+	// grid is sharded cell-per-worker through engine.Pool (each cell's
+	// model stays sequential — two nested levels of parallelism would
+	// just oversubscribe the cores). 0 or 1 runs sequentially; negative
+	// selects GOMAXPROCS. Cell results are independent of the width.
+	Workers int
+	// Batch is the training mini-batch size forwarded to core.Options:
+	// 1 (default) is the paper's online protocol, larger values trade
+	// protocol fidelity for replica parallelism inside each cell.
+	Batch int
+}
+
+// pool returns the engine pool the sweep grids shard through.
+func (sc Scale) pool() *engine.Pool {
+	if sc.Workers == 0 {
+		return engine.NewPool(1)
+	}
+	return engine.NewPool(sc.Workers)
+}
+
+// mapGrid shards cells [0,n) across the pool and returns the first
+// (lowest-index) error any cell produced — the shared scaffolding of
+// every sweep in this package. Cells write their results into
+// index-addressed slices, so grid output never depends on the width.
+func mapGrid(p *engine.Pool, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	p.Map(n, func(_, i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // QuickScale returns a minutes-scale configuration.
@@ -50,32 +86,53 @@ type Table1Row struct {
 }
 
 // Table1 trains every (dataset, mode, backend) combination and returns
-// the accuracy grid in the paper's row order.
+// the accuracy grid in the paper's row order. Cells are independent
+// models, so the grid runs through the engine pool (sc.Workers wide);
+// each cell's result is a pure function of its options and seed, so the
+// grid is deterministic for any pool width.
 func Table1(sc Scale, seed uint64, progress io.Writer) ([]Table1Row, error) {
-	var rows []Table1Row
+	type cell struct {
+		ds      dataset.Kind
+		mode    emstdp.FeedbackMode
+		backend core.Backend
+	}
+	var cells []cell
 	for _, ds := range []dataset.Kind{dataset.MNIST, dataset.FashionMNIST, dataset.MSTAR, dataset.CIFAR10} {
 		for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
 			for _, backend := range []core.Backend{core.Chip, core.FP} {
-				m, err := core.Build(core.Options{
-					Dataset:        ds,
-					Backend:        backend,
-					Mode:           mode,
-					TrainSamples:   sc.TrainSamples,
-					TestSamples:    sc.TestSamples,
-					PretrainEpochs: sc.PretrainEpochs,
-					Seed:           seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("table1 %v/%v/%v: %w", ds, mode, backend, err)
-				}
-				m.Train(sc.Epochs)
-				acc := m.Evaluate().Accuracy()
-				rows = append(rows, Table1Row{Dataset: ds, Mode: mode, Backend: backend, Accuracy: acc})
-				if progress != nil {
-					fmt.Fprintf(progress, "table1: %-18s %-3s %-11s %.1f%%\n", ds, mode, backend, acc*100)
-				}
+				cells = append(cells, cell{ds, mode, backend})
 			}
 		}
+	}
+	rows := make([]Table1Row, len(cells))
+	var mu sync.Mutex
+	err := mapGrid(sc.pool(), len(cells), func(i int) error {
+		c := cells[i]
+		m, err := core.Build(core.Options{
+			Dataset:        c.ds,
+			Backend:        c.backend,
+			Mode:           c.mode,
+			TrainSamples:   sc.TrainSamples,
+			TestSamples:    sc.TestSamples,
+			PretrainEpochs: sc.PretrainEpochs,
+			Batch:          sc.Batch,
+			Seed:           seed,
+		})
+		if err != nil {
+			return fmt.Errorf("table1 %v/%v/%v: %w", c.ds, c.mode, c.backend, err)
+		}
+		m.Train(sc.Epochs)
+		acc := m.Evaluate().Accuracy()
+		rows[i] = Table1Row{Dataset: c.ds, Mode: c.mode, Backend: c.backend, Accuracy: acc}
+		if progress != nil {
+			mu.Lock()
+			fmt.Fprintf(progress, "table1: %-18s %-3s %-11s %.1f%%\n", c.ds, c.mode, c.backend, acc*100)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -206,42 +263,58 @@ type Fig3Point struct {
 
 // Fig3 sweeps the neurons-per-core packing for both feedback modes,
 // measuring activity over sc.EnergySamples training samples and scaling
-// to the paper's 10000-sample training run.
+// to the paper's 10000-sample training run. Mapping points are
+// independent chip deployments, so the sweep runs through the engine
+// pool (each point's simulated chip stays sequential — the activity
+// counters must come from one chip driving its own samples).
 func Fig3(sc Scale, seed uint64) ([]Fig3Point, error) {
-	var points []Fig3Point
-	model := energy.DefaultLoihi()
+	type point struct {
+		mode emstdp.FeedbackMode
+		per  int
+	}
+	var grid []point
 	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
 		for per := 5; per <= 30; per += 5 {
-			m, err := core.Build(core.Options{
-				Dataset:        dataset.MNIST,
-				Backend:        core.Chip,
-				Mode:           mode,
-				ConvOnChip:     true,
-				NeuronsPerCore: per,
-				TrainSamples:   maxInt(sc.EnergySamples, 10),
-				TestSamples:    10,
-				PretrainEpochs: 1,
-				Seed:           seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			net := m.ChipNetwork()
-			net.Chip().ResetCounters()
-			for i := 0; i < sc.EnergySamples; i++ {
-				s := m.DS.Train[i%len(m.DS.Train)]
-				net.TrainSample(s.Image.Data, s.Label)
-			}
-			rep := model.Analyze(net.Chip().Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
-			points = append(points, Fig3Point{
-				Mode:            mode,
-				NeuronsPerCore:  per,
-				Cores:           rep.CoresUsed,
-				TimeFor10k:      rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
-				PowerWatts:      rep.PowerWatts,
-				EnergyPerSample: rep.EnergyPerSampleJ,
-			})
+			grid = append(grid, point{mode, per})
 		}
+	}
+	points := make([]Fig3Point, len(grid))
+	model := energy.DefaultLoihi()
+	err := mapGrid(sc.pool(), len(grid), func(i int) error {
+		p := grid[i]
+		m, err := core.Build(core.Options{
+			Dataset:        dataset.MNIST,
+			Backend:        core.Chip,
+			Mode:           p.mode,
+			ConvOnChip:     true,
+			NeuronsPerCore: p.per,
+			TrainSamples:   maxInt(sc.EnergySamples, 10),
+			TestSamples:    10,
+			PretrainEpochs: 1,
+			Seed:           seed,
+		})
+		if err != nil {
+			return err
+		}
+		net := m.ChipNetwork()
+		net.Chip().ResetCounters()
+		for j := 0; j < sc.EnergySamples; j++ {
+			s := m.DS.Train[j%len(m.DS.Train)]
+			net.TrainSample(s.Image.Data, s.Label)
+		}
+		rep := model.Analyze(net.Chip().Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+		points[i] = Fig3Point{
+			Mode:            p.mode,
+			NeuronsPerCore:  p.per,
+			Cores:           rep.CoresUsed,
+			TimeFor10k:      rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
+			PowerWatts:      rep.PowerWatts,
+			EnergyPerSample: rep.EnergyPerSampleJ,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -156,6 +156,11 @@ func (p *Population) SetDisabled(i int, d bool) {
 	p.disabled[i] = d
 }
 
+// Disabled reports whether compartment i is disabled.
+func (p *Population) Disabled(i int) bool {
+	return p.disabled != nil && p.disabled[i]
+}
+
 // SetPhaseGate live-gates this population's output on a size-1 control
 // population: spikes pass only on steps where the control neuron's
 // previous-step spike is high (an additional AND compartment in the

@@ -177,6 +177,53 @@ func (g *SynapseGroup) applyEpoch() int64 {
 	return int64(g.Post.N * preN)
 }
 
+// LearnState is a snapshot of the learning-engine inputs of one plastic
+// group at the end of phase 2: the presynaptic trace, the per-row tag,
+// and the postsynaptic population's trace. Together these are everything
+// applyEpoch reads besides the weights themselves, so a snapshot
+// captured on a replica chip can be restored onto another chip with the
+// same netlist and applied there — the mechanism the execution engine
+// uses to run batch members on replicas while the master chip applies
+// the updates in sample order.
+type LearnState struct {
+	PreTrace  []uint8
+	Tag       []int32
+	PostTrace []uint8
+}
+
+// CaptureLearnState copies the group's current learning state. Only
+// valid on plastic groups (EnableLearning was called).
+func (g *SynapseGroup) CaptureLearnState() LearnState {
+	return LearnState{
+		PreTrace:  append([]uint8(nil), g.preTrace...),
+		Tag:       append([]int32(nil), g.tag...),
+		PostTrace: append([]uint8(nil), g.Post.postTrace...),
+	}
+}
+
+// RestoreLearnState loads a captured snapshot into the group (and its
+// postsynaptic population's trace), overwriting whatever the last run
+// left behind. The stochastic-rounding stream is NOT part of the
+// snapshot: the applying chip draws from its own lrnRNG, which is what
+// keeps replica-computed training bit-identical to a sequential walk on
+// the applying chip.
+func (g *SynapseGroup) RestoreLearnState(s LearnState) {
+	copy(g.preTrace, s.PreTrace)
+	copy(g.tag, s.Tag)
+	copy(g.Post.postTrace, s.PostTrace)
+}
+
+// CopyWeightsFrom copies another group's weight mantissas and exponent
+// (replica weight synchronisation). The groups must have identical
+// shapes.
+func (g *SynapseGroup) CopyWeightsFrom(src *SynapseGroup) {
+	if len(src.W) != len(g.W) {
+		panic(fmt.Sprintf("loihi: group %q weight count %d != %d", g.Name, len(src.W), len(g.W)))
+	}
+	copy(g.W, src.W)
+	g.Exp = src.Exp
+}
+
 // PerturbWeights adds zero-mean Gaussian drift of the given standard
 // deviation (in mantissa units) to every weight, saturating at the int8
 // range — a model of analog device variation / memristive conductance

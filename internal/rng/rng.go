@@ -40,6 +40,15 @@ func New(seed uint64) *Source {
 	return &r
 }
 
+// Clone returns a copy of r at its current stream position: the clone
+// and the original produce identical future outputs while staying
+// independent objects. Replica networks copy their master's rounding
+// streams this way.
+func (r *Source) Clone() *Source {
+	c := *r
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

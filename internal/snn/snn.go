@@ -53,6 +53,24 @@ func NewIFLayer(r *rng.Source, in, out int, scale, theta float64) *IFLayer {
 	return l
 }
 
+// Clone returns a replica of the layer: weights and biases copied,
+// dynamic state fresh. Replica networks for parallel execution are built
+// from these.
+func (l *IFLayer) Clone() *IFLayer {
+	c := &IFLayer{
+		In: l.In, Out: l.Out,
+		W:      make([]float64, len(l.W)),
+		Bias:   make([]float64, len(l.Bias)),
+		Theta:  l.Theta,
+		UMin:   l.UMin,
+		u:      make([]float64, l.Out),
+		spikes: make([]bool, l.Out),
+	}
+	copy(c.W, l.W)
+	copy(c.Bias, l.Bias)
+	return c
+}
+
 // Step integrates one timestep of presynaptic spikes and returns the
 // layer's spike vector (valid until the next Step).
 func (l *IFLayer) Step(pre []bool) []bool {
