@@ -26,6 +26,7 @@ import (
 	"emstdp/internal/incremental"
 	"emstdp/internal/loihi"
 	"emstdp/internal/rng"
+	"emstdp/internal/snn"
 )
 
 // buildModel constructs a small-but-meaningful model for benches.
@@ -439,10 +440,23 @@ func BenchmarkChipStep(b *testing.B) {
 }
 
 // BenchmarkFPTrainSample measures the reference implementation's
-// per-sample training cost on the paper's dense topology.
+// per-sample training cost on the paper's dense topology (the
+// production KernelAuto density cutover).
 func BenchmarkFPTrainSample(b *testing.B) {
+	benchFPTrainSample(b, snn.KernelAuto)
+}
+
+// BenchmarkFPTrainSample_DenseKernel forces the reference dense kernel —
+// the ratio against BenchmarkFPTrainSample is the event-driven hot
+// path's end-to-end win at real rate-coded activity levels.
+func BenchmarkFPTrainSample_DenseKernel(b *testing.B) {
+	benchFPTrainSample(b, snn.KernelDense)
+}
+
+func benchFPTrainSample(b *testing.B, k snn.Kernel) {
 	cfg := emstdp.DefaultConfig(200, 100, 10)
 	net := emstdp.New(cfg)
+	net.SetKernel(k)
 	r := rng.New(1)
 	x := make([]float64, 200)
 	r.FillUniform(x, 0, 1)

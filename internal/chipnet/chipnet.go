@@ -136,6 +136,11 @@ type Network struct {
 	phaseOn   []int32
 	phaseOff  []int32
 	zeroLabel []int32
+	// inputBias/labelBias are reusable per-sample host-write staging
+	// buffers, so ProgramSample/RunPhases allocate nothing after
+	// construction (enforced by AllocsPerRun tests).
+	inputBias []int32
+	labelBias []int32
 
 	// convStack and the input geometry are retained from NewWithConv so
 	// replicas can rebuild the same netlist (the stack itself is frozen
@@ -165,6 +170,7 @@ func New(cfg Config) (*Network, error) {
 	if err := n.buildDense(in); err != nil {
 		return nil, err
 	}
+	n.initScratch()
 	return n, nil
 }
 
@@ -187,7 +193,17 @@ func NewWithConv(cfg Config, cs *ann.ConvStack, inC, inH, inW int) (*Network, er
 	if err := n.buildDense(n.conv.c2); err != nil {
 		return nil, err
 	}
+	n.initScratch()
 	return n, nil
+}
+
+// initScratch sizes the reusable host-write buffers once the netlist's
+// populations exist.
+func (n *Network) initScratch() {
+	n.inputBias = make([]int32, n.inputPop().N)
+	if n.label != nil {
+		n.labelBias = make([]int32, n.label.N)
+	}
 }
 
 func newCommon(cfg Config) (*Network, error) {

@@ -25,7 +25,7 @@ func (n *Network) programInput(x []float64) {
 	}
 	T := int32(n.cfg.T)
 	unit := n.cfg.Theta / T
-	biases := make([]int32, len(x))
+	biases := n.inputBias
 	for i, v := range x {
 		if v < 0 {
 			v = 0
@@ -42,7 +42,7 @@ func (n *Network) programInput(x []float64) {
 // programLabel writes the target-class biases onto the label neurons.
 func (n *Network) programLabel(label int) {
 	T := float64(n.cfg.T)
-	biases := make([]int32, n.label.N)
+	biases := n.labelBias
 	for j := range biases {
 		rate := n.cfg.TargetLow
 		if j == label {
@@ -133,19 +133,26 @@ func (n *Network) Counts(x []float64) []int {
 }
 
 // Predict returns the argmax class for x, breaking spike-count ties with
-// residual membrane potential.
+// residual membrane potential. Reads the output traces in place (no
+// per-call allocation, unlike Counts).
 func (n *Network) Predict(x []float64) int {
-	counts := n.Counts(x)
+	n.ProgramSample(x, -1)
+	n.RunPhases(false)
 	out := n.fwd[len(n.fwd)-1]
 	best, bi := -1.0, 0
-	for i, c := range counts {
-		score := float64(c) + float64(out.Potential(i))/float64(n.cfg.Theta)
+	for i := 0; i < out.N; i++ {
+		score := float64(out.PostTrace(i)) + float64(out.Potential(i))/float64(n.cfg.Theta)
 		if score > best {
 			best, bi = score, i
 		}
 	}
 	return bi
 }
+
+// SetDenseDelivery forwards the equivalence-test hook to the chip: every
+// connector switches between the reference dense kernel and the
+// event-driven one (bit-identical by construction).
+func (n *Network) SetDenseDelivery(v bool) { n.chip.SetDenseDelivery(v) }
 
 // OutputCountsPhase2 returns the output layer's phase-2 spike counts of
 // the most recent TrainSample — ĥ, exposed for tests and diagnostics.

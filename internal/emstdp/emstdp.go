@@ -174,6 +174,18 @@ type Network struct {
 	// pendingLabel is the target programmed by the last ProgramSample
 	// (-1 for an inference-only pass).
 	pendingLabel int
+
+	// Reusable per-sample scratch, so the TrainSample/Predict hot loop
+	// allocates nothing after construction (enforced by AllocsPerRun
+	// tests): quantized input rates, label biases, the output-gate mask,
+	// per-hidden-bank direction gates, and the counter views ApplyUpdate
+	// hands to applyFrom.
+	qbuf               []float64
+	lbuf               []float64
+	gateOut            []bool
+	gatePosBuf         [][]bool
+	gateNegBuf         [][]bool
+	applyH1V, applyH2V [][]int
 }
 
 // New builds an EMSTDP network. LayerSizes must name at least input and
@@ -225,7 +237,29 @@ func New(cfg Config) *Network {
 		n.h2 = append(n.h2, spike.NewCounter(l.Out))
 	}
 	n.outputDisabled = make([]bool, out)
+	n.initScratch()
 	return n
+}
+
+// initScratch builds the reusable hot-loop buffers (New and Clone).
+func (n *Network) initScratch() {
+	in := n.cfg.LayerSizes[0]
+	out := n.cfg.LayerSizes[len(n.cfg.LayerSizes)-1]
+	n.qbuf = make([]float64, in)
+	n.lbuf = make([]float64, out)
+	n.gateOut = make([]bool, out)
+	n.gatePosBuf = make([][]bool, len(n.errHidden))
+	n.gateNegBuf = make([][]bool, len(n.errHidden))
+	for i, e := range n.errHidden {
+		n.gatePosBuf[i] = make([]bool, e.Len())
+		n.gateNegBuf[i] = make([]bool, e.Len())
+	}
+	n.applyH1V = make([][]int, len(n.h1))
+	n.applyH2V = make([][]int, len(n.h2))
+	for i := range n.h1 {
+		n.applyH1V[i] = n.h1[i].Counts
+		n.applyH2V[i] = n.h2[i].Counts
+	}
 }
 
 func sqrtF(n int) float64 {
@@ -280,6 +314,15 @@ func (n *Network) NumFeedbackNeurons() int {
 
 // Layer exposes trainable layer i (for quantization and inspection).
 func (n *Network) Layer(i int) *snn.IFLayer { return n.layers[i] }
+
+// SetKernel forces every trainable layer's integration kernel — the
+// equivalence-test and benchmark hook (production stays KernelAuto,
+// which cuts over per step on presynaptic popcount).
+func (n *Network) SetKernel(k snn.Kernel) {
+	for _, l := range n.layers {
+		l.Kernel = k
+	}
+}
 
 // NumLayers returns the number of trainable layers.
 func (n *Network) NumLayers() int { return len(n.layers) }
@@ -341,16 +384,20 @@ func (n *Network) reset() {
 }
 
 // forwardStep advances encoder and all layers one timestep, recording
-// counts into the given counters.
+// counts into the given counters. Spikes travel as (dense vector,
+// active-index list) pairs so each layer's kernel can go event-driven
+// when activity is sparse.
 func (n *Network) forwardStep(encCounter *spike.Counter, layerCounters []*spike.Counter) {
 	s := n.enc.Step()
+	act := n.enc.Active()
 	if encCounter != nil {
-		encCounter.Observe(s)
+		encCounter.ObserveActive(act)
 	}
 	for i, l := range n.layers {
-		s = l.Step(s)
+		s = l.StepSparse(s, act)
+		act = l.Active()
 		if layerCounters != nil {
-			layerCounters[i].Observe(s)
+			layerCounters[i].ObserveActive(act)
 		}
 	}
 }
@@ -360,7 +407,7 @@ func (n *Network) setInput(x []float64) {
 	if len(x) != n.enc.Len() {
 		panic(fmt.Sprintf("emstdp: input size %d, want %d", len(x), n.enc.Len()))
 	}
-	q := spike.QuantizeToPhase(x, n.cfg.T)
+	q := spike.QuantizeToPhaseInto(n.qbuf, x, n.cfg.T)
 	for i := range q {
 		q[i] *= n.cfg.Theta
 	}
@@ -377,9 +424,12 @@ func (n *Network) phase1() {
 }
 
 // Predict classifies x (rates in [0,1]) with a phase-1 pass, breaking
-// count ties by residual membrane potential.
+// count ties by residual membrane potential. Reads the phase counters in
+// place (no per-call allocation, unlike Counts).
 func (n *Network) Predict(x []float64) int {
-	counts := n.Counts(x)
+	n.ProgramSample(x, -1)
+	n.RunPhases(false)
+	counts := n.h1[len(n.h1)-1].Counts
 	outLayer := n.layers[len(n.layers)-1]
 	best, bi := -1.0, 0
 	for i, c := range counts {
@@ -426,7 +476,7 @@ func (n *Network) ProgramSample(x []float64, label int) {
 	if label < 0 {
 		return
 	}
-	lb := make([]float64, out)
+	lb := n.lbuf
 	for j := 0; j < out; j++ {
 		rate := n.cfg.TargetLow
 		if j == label {
@@ -496,9 +546,10 @@ func (n *Network) RunPhases(train bool) {
 	}
 }
 
-// outputGate suppresses error spikes of disabled output neurons.
+// outputGate suppresses error spikes of disabled output neurons
+// (refills the reusable mask; no allocation).
 func (n *Network) outputGate() []bool {
-	gate := make([]bool, len(n.outputDisabled))
+	gate := n.gateOut
 	for i, d := range n.outputDisabled {
 		gate[i] = !d
 	}
@@ -556,8 +607,8 @@ func (n *Network) driveAndInject(i int, src []int8) []int8 {
 	}
 	var gatePos, gateNeg []bool
 	if n.cfg.GateHidden {
-		gatePos = make([]bool, size)
-		gateNeg = make([]bool, size)
+		gatePos = n.gatePosBuf[i]
+		gateNeg = n.gateNegBuf[i]
 		h1 := n.h1[i].Counts
 		hi := n.gateHi()
 		for k := 0; k < size; k++ {
@@ -661,5 +712,9 @@ func (n *Network) applyFrom(enc []int, h1, h2 [][]int) {
 				row[k] = w
 			}
 		}
+		// The in-place weight write invalidates the layer's transposed
+		// view; mark once per sample so the sparse kernel retransposes
+		// lazily on the next step, not per timestep.
+		layer.MarkWeightsDirty()
 	}
 }

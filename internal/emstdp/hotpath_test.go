@@ -1,0 +1,117 @@
+package emstdp
+
+import (
+	"testing"
+
+	"emstdp/internal/rng"
+	"emstdp/internal/snn"
+)
+
+// trainStream deterministically synthesises n labelled rate vectors.
+func trainStream(r *rng.Source, in, classes, n int) ([][]float64, []int) {
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		x := make([]float64, in)
+		r.FillUniform(x, 0, 0.6)
+		xs[i] = x
+		ys[i] = r.Intn(classes)
+	}
+	return xs, ys
+}
+
+// TestTrainingBitIdenticalAcrossKernels trains two networks from the
+// same seed — one forced onto the dense kernel, one onto the
+// event-driven sparse kernel — and demands byte-identical learned
+// weights and predictions. This is the acceptance bar of the hot-path
+// rewrite: the cutover may pick either kernel per step without changing
+// a single bit of the trajectory.
+func TestTrainingBitIdenticalAcrossKernels(t *testing.T) {
+	for _, mode := range []FeedbackMode{DFA, FA} {
+		cfg := DefaultConfig(60, 40, 10)
+		cfg.Mode = mode
+		cfg.Seed = 21
+		dense := New(cfg)
+		sparse := New(cfg)
+		auto := New(cfg)
+		dense.SetKernel(snn.KernelDense)
+		sparse.SetKernel(snn.KernelSparse)
+
+		xs, ys := trainStream(rng.New(77), 60, 10, 60)
+		for i := range xs {
+			dense.TrainSample(xs[i], ys[i])
+			sparse.TrainSample(xs[i], ys[i])
+			auto.TrainSample(xs[i], ys[i])
+		}
+		for li := 0; li < dense.NumLayers(); li++ {
+			wd := dense.Layer(li).W
+			ws := sparse.Layer(li).W
+			wa := auto.Layer(li).W
+			for k := range wd {
+				if wd[k] != ws[k] {
+					t.Fatalf("%v: layer %d weight %d: dense %v sparse %v", mode, li, k, wd[k], ws[k])
+				}
+				if wd[k] != wa[k] {
+					t.Fatalf("%v: layer %d weight %d: dense %v auto %v", mode, li, k, wd[k], wa[k])
+				}
+			}
+		}
+		probe, _ := trainStream(rng.New(5), 60, 10, 20)
+		for _, x := range probe {
+			pd, ps, pa := dense.Predict(x), sparse.Predict(x), auto.Predict(x)
+			if pd != ps || pd != pa {
+				t.Fatalf("%v: predictions diverge: dense %d sparse %d auto %d", mode, pd, ps, pa)
+			}
+		}
+	}
+}
+
+// TestCountsMatchPredictPath guards the no-copy Predict rewrite: it must
+// agree with the allocating Counts API on the argmax-relevant state.
+func TestCountsMatchPredictPath(t *testing.T) {
+	cfg := DefaultConfig(30, 20, 5)
+	net := New(cfg)
+	xs, ys := trainStream(rng.New(3), 30, 5, 20)
+	for i := range xs {
+		net.TrainSample(xs[i], ys[i])
+	}
+	for _, x := range xs {
+		counts := net.Counts(x)
+		outLayer := net.Layer(net.NumLayers() - 1)
+		best, bi := -1.0, 0
+		for i, c := range counts {
+			score := float64(c) + outLayer.Potential(i)/net.Config().Theta
+			if score > best {
+				best, bi = score, i
+			}
+		}
+		if got := net.Predict(x); got != bi {
+			t.Fatalf("Predict %d, Counts-derived argmax %d", got, bi)
+		}
+	}
+}
+
+// TestTrainSampleAndPredictAllocateNothing enforces the zero-allocation
+// guarantee of the per-sample hot loop: after warm-up, neither the full
+// two-phase training pass nor inference may allocate. A regression here
+// reintroduces GC pressure on the path that runs hundreds of times per
+// second.
+func TestTrainSampleAndPredictAllocateNothing(t *testing.T) {
+	cfg := DefaultConfig(50, 30, 10)
+	net := New(cfg)
+	xs, ys := trainStream(rng.New(9), 50, 10, 8)
+	// Warm up: transposes built, scratch touched.
+	for i := range xs {
+		net.TrainSample(xs[i], ys[i])
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		net.TrainSample(xs[0], ys[0])
+	}); avg != 0 {
+		t.Errorf("TrainSample allocates %.1f objects per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		net.Predict(xs[1])
+	}); avg != 0 {
+		t.Errorf("Predict allocates %.1f objects per call, want 0", avg)
+	}
+}

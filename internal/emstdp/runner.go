@@ -51,13 +51,9 @@ func (n *Network) CaptureUpdate() engine.Update {
 // allocation-free sequential path).
 func (n *Network) ApplyUpdate(u engine.Update) {
 	if u == nil {
-		h1 := make([][]int, len(n.h1))
-		h2 := make([][]int, len(n.h2))
-		for i := range n.h1 {
-			h1[i] = n.h1[i].Counts
-			h2[i] = n.h2[i].Counts
-		}
-		n.applyFrom(n.encCount.Counts, h1, h2)
+		// applyH1V/applyH2V are prebuilt views over the live counters, so
+		// the sequential path allocates nothing.
+		n.applyFrom(n.encCount.Counts, n.applyH1V, n.applyH2V)
 		return
 	}
 	fu, ok := u.(*fpUpdate)
@@ -102,6 +98,7 @@ func (n *Network) Clone() *Network {
 		c.h2 = append(c.h2, spike.NewCounter(l.Out))
 	}
 	c.outputDisabled = append([]bool(nil), n.outputDisabled...)
+	c.initScratch()
 	return c
 }
 
@@ -125,6 +122,7 @@ func (n *Network) SyncWeights(src engine.Runner) error {
 		}
 		copy(l.W, sl.W)
 		copy(l.Bias, sl.Bias)
+		l.MarkWeightsDirty()
 	}
 	n.eta = s.eta
 	copy(n.outputDisabled, s.outputDisabled)

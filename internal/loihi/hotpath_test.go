@@ -1,0 +1,121 @@
+package loihi
+
+import (
+	"testing"
+
+	"emstdp/internal/rng"
+)
+
+// buildStepBench wires the paper's 200→100→10 dense training shape with
+// bias-driven inputs at roughly the rate-coded activity level.
+func buildStepBench(tb testing.TB) *Chip {
+	tb.Helper()
+	chip := New(DefaultHardware())
+	in := NewPopulation("in", PopulationConfig{N: 200, Theta: 256, VMin: -256})
+	hid := NewPopulation("hid", PopulationConfig{N: 100, Theta: 256, VMin: -256})
+	out := NewPopulation("out", PopulationConfig{N: 10, Theta: 256, VMin: -256})
+	for i, p := range []*Population{in, hid, out} {
+		if err := chip.AddPopulation(p, i*20, 10); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	g1 := NewSynapseGroup("ih", in, hid, 0)
+	g2 := NewSynapseGroup("ho", hid, out, 0)
+	r := rng.New(5)
+	for _, g := range []*SynapseGroup{g1, g2} {
+		for i := range g.W {
+			g.W[i] = int8(r.Intn(21) - 10)
+		}
+		g.MarkWeightsDirty()
+		if err := chip.Connect(g); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	biases := make([]int32, 200)
+	for i := range biases {
+		biases[i] = int32(r.Intn(90)) // ~17% mean firing density
+	}
+	in.SetBiases(biases)
+	return chip
+}
+
+// TestDeliveryKernelsBitIdentical steps two identical chips — reference
+// dense delivery vs the event-driven transposed path — and compares
+// every membrane, spike vector and counter each step.
+func TestDeliveryKernelsBitIdentical(t *testing.T) {
+	dense := buildStepBench(t)
+	sparse := buildStepBench(t)
+	dense.SetDenseDelivery(true)
+	for step := 0; step < 256; step++ {
+		dense.Step()
+		sparse.Step()
+		for pi := range dense.pops {
+			dp, sp := dense.pops[pi], sparse.pops[pi]
+			for i := 0; i < dp.N; i++ {
+				if dp.Potential(i) != sp.Potential(i) {
+					t.Fatalf("step %d pop %s compartment %d: dense v=%d sparse v=%d",
+						step, dp.Name, i, dp.Potential(i), sp.Potential(i))
+				}
+				if dp.Spikes()[i] != sp.Spikes()[i] {
+					t.Fatalf("step %d pop %s compartment %d: spike mismatch", step, dp.Name, i)
+				}
+			}
+		}
+	}
+	if d, s := dense.Counters(), sparse.Counters(); d != s {
+		t.Fatalf("counters diverge:\ndense  %+v\nsparse %+v", d, s)
+	}
+}
+
+// TestActiveSpikesMatchesSpikes pins the sparse view to the dense one
+// across steps and resets.
+func TestActiveSpikesMatchesSpikes(t *testing.T) {
+	chip := buildStepBench(t)
+	check := func() {
+		for _, p := range chip.pops {
+			act := p.ActiveSpikes()
+			j := 0
+			for i, s := range p.Spikes() {
+				if !s {
+					continue
+				}
+				if j >= len(act) || act[j] != int32(i) {
+					t.Fatalf("pop %s: ActiveSpikes %v inconsistent with Spikes", p.Name, act)
+				}
+				j++
+			}
+			if j != len(act) {
+				t.Fatalf("pop %s: %d stale active entries", p.Name, len(act)-j)
+			}
+		}
+	}
+	for step := 0; step < 64; step++ {
+		chip.Step()
+		check()
+	}
+	chip.ResetMembranes()
+	check()
+	chip.ResetState()
+	check()
+}
+
+// BenchmarkLoihiStep measures the simulator's raw step rate on the dense
+// training shape — the number the delivery cutover and BENCH_2 read.
+func BenchmarkLoihiStep(b *testing.B) {
+	chip := buildStepBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Step()
+	}
+}
+
+// BenchmarkLoihiStep_DenseDelivery is the reference kernel's rate, for
+// the speedup ratio.
+func BenchmarkLoihiStep_DenseDelivery(b *testing.B) {
+	chip := buildStepBench(b)
+	chip.SetDenseDelivery(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Step()
+	}
+}

@@ -205,6 +205,16 @@ func (c *Chip) Counters() Counters { return c.counters }
 // measured regions this way).
 func (c *Chip) ResetCounters() { c.counters = Counters{} }
 
+// SetDenseDelivery forces every connector onto the reference dense
+// delivery kernel (true) or back to the event-driven one (false). Both
+// kernels are bit-identical by construction; this hook exists so the
+// equivalence tests can prove it end to end.
+func (c *Chip) SetDenseDelivery(v bool) {
+	for _, g := range c.groups {
+		g.setDense(v)
+	}
+}
+
 // CountHostTransaction records a host↔chip interaction (bias write, label
 // write, state readback). The I/O-reduction argument of §III-D is made
 // with this counter.

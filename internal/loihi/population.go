@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emstdp/internal/fixed"
+	"emstdp/internal/spike"
 )
 
 // coreSlice records a population's occupancy of one core.
@@ -71,6 +72,10 @@ type Population struct {
 
 	spikesNow  []bool // produced this step
 	spikesPrev []bool // visible to synapse groups this step
+	// activePrev holds the indices set in spikesPrev (ascending) — the
+	// sparse view event-driven connectors iterate instead of scanning
+	// the dense vector. Rebuilt at rotate, cleared with the buffers.
+	activePrev *spike.ActiveList
 
 	// postTrace counts this population's spikes since the last phase
 	// reset (Loihi's postsynaptic trace, no decay: EMSTDP uses it as ĥ).
@@ -115,6 +120,7 @@ func NewPopulation(name string, cfg PopulationConfig) *Population {
 		acc:        make([]int32, cfg.N),
 		spikesNow:  make([]bool, cfg.N),
 		spikesPrev: make([]bool, cfg.N),
+		activePrev: spike.NewActiveList(cfg.N),
 		postTrace:  make([]uint8, cfg.N),
 	}
 	if cfg.CurrentDecayShift > 0 {
@@ -183,6 +189,10 @@ func (p *Population) SetBiases(b []int32) {
 
 // Spikes returns last step's spike vector (the one visible to synapses).
 func (p *Population) Spikes() []bool { return p.spikesPrev }
+
+// ActiveSpikes returns the ascending indices set in Spikes() — the
+// sparse view of the same step (valid until the next step).
+func (p *Population) ActiveSpikes() []int32 { return p.activePrev.Indices() }
 
 // PostTrace returns the post-synaptic trace value of compartment i.
 func (p *Population) PostTrace(i int) uint8 { return p.postTrace[i] }
@@ -289,20 +299,21 @@ func (p *Population) update() int {
 			p.postTrace[i] = fixed.SatTrace(int64(p.postTrace[i]) + 1)
 		}
 	}
-	// Aux compartments integrate their source's current spikes.
+	// Aux compartments integrate their source's current spikes
+	// (event-driven: only the firing partners are touched).
 	if p.auxSrc != nil {
-		for i, s := range p.auxSrc.spikesPrev {
-			if s {
-				p.auxActivity[i]++
-			}
+		for _, i := range p.auxSrc.activePrev.Indices() {
+			p.auxActivity[i]++
 		}
 	}
 	return spikes
 }
 
-// rotate publishes this step's spikes to the synapse-visible buffer.
+// rotate publishes this step's spikes to the synapse-visible buffer and
+// rebuilds the matching active-index list.
 func (p *Population) rotate() {
 	p.spikesPrev, p.spikesNow = p.spikesNow, p.spikesPrev
+	p.activePrev.Gather(p.spikesPrev)
 	if p.cfg.Source {
 		// Injected spikes are one-shot events, not persistent state.
 		for i := range p.spikesNow {
@@ -340,6 +351,7 @@ func (p *Population) resetDynamics() {
 			p.u[i] = 0
 		}
 	}
+	p.activePrev.Reset()
 }
 
 // reset zeroes all dynamic state (sample boundary). Biases persist: they
@@ -359,4 +371,5 @@ func (p *Population) reset() {
 			p.gateMask[i] = false
 		}
 	}
+	p.activePrev.Reset()
 }

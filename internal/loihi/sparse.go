@@ -16,6 +16,9 @@ type Connector interface {
 	resetPhaseTraces()
 	// reset clears all learning state at the sample boundary.
 	reset()
+	// setDense forces the reference dense delivery kernel — the
+	// equivalence-test hook behind Chip.SetDenseDelivery.
+	setDense(v bool)
 
 	// GroupName identifies the group in errors and reports.
 	GroupName() string
@@ -61,6 +64,7 @@ type SparseGroup struct {
 
 	synapses int
 	maxFanIn int
+	dense    bool
 }
 
 // NewSparseGroup builds an empty sparse group.
@@ -107,8 +111,26 @@ func (g *SparseGroup) finalizeFanIn() {
 	g.maxFanIn = m
 }
 
-// deliver routes spikes through the adjacency lists.
+// deliver routes spikes through the adjacency lists, iterating the
+// presynaptic active-index list instead of scanning the dense vector.
 func (g *SparseGroup) deliver() int64 {
+	if g.dense {
+		return g.deliverDense()
+	}
+	var events int64
+	for _, k := range g.Pre.ActiveSpikes() {
+		outs := g.fanOut[k]
+		for _, syn := range outs {
+			g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+		}
+		events += int64(len(outs))
+	}
+	return events
+}
+
+// deliverDense is the reference dense-scan kernel, kept for the
+// equivalence tests.
+func (g *SparseGroup) deliverDense() int64 {
 	var events int64
 	for k, s := range g.Pre.Spikes() {
 		if !s {
@@ -122,6 +144,9 @@ func (g *SparseGroup) deliver() int64 {
 	}
 	return events
 }
+
+// setDense toggles the reference delivery kernel (test hook).
+func (g *SparseGroup) setDense(v bool) { g.dense = v }
 
 // stepLearning is a no-op: sparse groups are fixed.
 func (g *SparseGroup) stepLearning() {}

@@ -33,19 +33,56 @@ type SynapseGroup struct {
 	tag []int32
 	// lrnRNG supplies random bits for stochastic rounding.
 	lrnRNG *rng.Source
+
+	// wt is the column-major (Pre.N×Post.N) transposed weight view:
+	// delivering one presynaptic spike reads a contiguous run instead of
+	// a Pre.N-strided walk of W. Rebuilt lazily when wtDirty; every
+	// writer of W must set the flag (MarkWeightsDirty).
+	wt      []int8
+	wtDirty bool
+	// dense forces the reference row-strided delivery kernel — the
+	// equivalence-test hook (see Chip.SetDenseDelivery).
+	dense bool
 }
 
 // NewSynapseGroup builds a group with zeroed weights.
 func NewSynapseGroup(name string, pre, post *Population, exp uint) *SynapseGroup {
 	g := &SynapseGroup{
-		Name: name,
-		Pre:  pre,
-		Post: post,
-		W:    make([]int8, pre.N*post.N),
-		Exp:  exp,
+		Name:    name,
+		Pre:     pre,
+		Post:    post,
+		W:       make([]int8, pre.N*post.N),
+		wt:      make([]int8, pre.N*post.N),
+		wtDirty: true,
+		Exp:     exp,
 	}
 	return g
 }
+
+// MarkWeightsDirty invalidates the transposed weight view after W was
+// written in place (the learning epoch and the weight-loading paths call
+// it; any external writer of W must too).
+func (g *SynapseGroup) MarkWeightsDirty() { g.wtDirty = true }
+
+// ensureTransposed rebuilds the Pre.N×Post.N view if W changed since the
+// last build — once per weight write (per sample under EMSTDP), not per
+// step.
+func (g *SynapseGroup) ensureTransposed() {
+	if !g.wtDirty {
+		return
+	}
+	preN, postN := g.Pre.N, g.Post.N
+	for o := 0; o < postN; o++ {
+		row := g.W[o*preN : (o+1)*preN]
+		for k, w := range row {
+			g.wt[k*postN+o] = w
+		}
+	}
+	g.wtDirty = false
+}
+
+// setDense toggles the reference dense delivery kernel (test hook).
+func (g *SynapseGroup) setDense(v bool) { g.dense = v }
 
 // EnableLearning attaches a rule and allocates trace state. seed drives
 // the stochastic-rounding bit stream (deterministic per group).
@@ -90,6 +127,7 @@ func (g *SynapseGroup) SetWeightsFloat(w []float64, scale, headroom float64) {
 	for i, v := range w {
 		g.W[i] = fixed.SatWeight(int64(roundHalfAway(v * scale / unit)))
 	}
+	g.MarkWeightsDirty()
 }
 
 func roundHalfAway(x float64) int64 {
@@ -105,9 +143,43 @@ func (g *SynapseGroup) WeightFloat(o, k int, scale float64) float64 {
 	return float64(int32(g.W[o*g.Pre.N+k])<<g.Exp) / scale
 }
 
-// deliver routes last step's presynaptic spikes into the post population,
-// returning the number of synaptic events (per-spike fan-out deliveries).
+// deliver routes last step's presynaptic spikes into the post
+// population, returning the number of synaptic events (per-spike fan-out
+// deliveries). The event-driven kernel walks the presynaptic
+// active-index list and scatters each spike's contiguous transposed
+// weight column — the simulator finally does work proportional to the
+// SynapticEvents it counts, like the chip. Membrane accumulation is
+// saturating-integer in the same order as the dense reference (ascending
+// presynaptic index per post neuron), so results are bit-identical.
 func (g *SynapseGroup) deliver() int64 {
+	if g.dense {
+		return g.deliverDense()
+	}
+	active := g.Pre.ActiveSpikes()
+	if len(active) == 0 {
+		return 0
+	}
+	g.ensureTransposed()
+	postN := g.Post.N
+	var events int64
+	for _, k := range active {
+		if g.preTrace != nil {
+			g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
+		}
+		col := g.wt[int(k)*postN : (int(k)+1)*postN]
+		for o, w := range col {
+			if w != 0 {
+				g.Post.addInput(o, int32(w)<<g.Exp)
+			}
+		}
+		events += int64(postN)
+	}
+	return events
+}
+
+// deliverDense is the reference row-strided kernel, kept for the
+// dense/sparse equivalence tests.
+func (g *SynapseGroup) deliverDense() int64 {
 	var events int64
 	preN := g.Pre.N
 	for k, s := range g.Pre.Spikes() {
@@ -174,6 +246,9 @@ func (g *SynapseGroup) applyEpoch() int64 {
 			}
 		}
 	}
+	// Weights changed in place: invalidate the transposed delivery view
+	// (once per learning epoch — per sample — not per step).
+	g.MarkWeightsDirty()
 	return int64(g.Post.N * preN)
 }
 
@@ -222,6 +297,7 @@ func (g *SynapseGroup) CopyWeightsFrom(src *SynapseGroup) {
 	}
 	copy(g.W, src.W)
 	g.Exp = src.Exp
+	g.MarkWeightsDirty()
 }
 
 // PerturbWeights adds zero-mean Gaussian drift of the given standard
@@ -234,6 +310,7 @@ func (g *SynapseGroup) PerturbWeights(r *rng.Source, sd float64) {
 	for i, w := range g.W {
 		g.W[i] = fixed.SatWeight(int64(w) + int64(r.NormScaled(0, sd)))
 	}
+	g.MarkWeightsDirty()
 }
 
 // resetPhaseTraces zeroes the pre trace (tags persist across the phase

@@ -106,6 +106,7 @@ func Load(r io.Reader) (*core.Model, error) {
 				return nil, fmt.Errorf("model: dense layer %d size mismatch", i)
 			}
 			copy(dst, w)
+			fp.Layer(i).MarkWeightsDirty()
 		}
 	}
 	if ch := m.ChipNetwork(); ch != nil {
@@ -123,6 +124,7 @@ func Load(r io.Reader) (*core.Model, error) {
 			for j, v := range g.W {
 				g.W[j] = fixed.SatWeight(int64(v)) // defensive re-saturation
 			}
+			g.MarkWeightsDirty()
 		}
 	}
 	return m, nil

@@ -17,11 +17,42 @@ import (
 	"emstdp/internal/rng"
 )
 
+// Kernel selects the per-step integration kernel.
+type Kernel int
+
+const (
+	// KernelAuto picks dense or sparse per step from the presynaptic
+	// popcount (the density cutover) — the production setting.
+	KernelAuto Kernel = iota
+	// KernelDense always runs the dense row-gather kernel.
+	KernelDense
+	// KernelSparse always runs the event-driven column-scatter kernel.
+	KernelSparse
+)
+
+// sparseCutoverPct is the presynaptic spike density (percent of In)
+// below which KernelAuto picks the event-driven kernel. Chosen from
+// BenchmarkIFLayerStep on the 2-core reference runner (200→100 layer):
+//
+//	density   dense      sparse
+//	   5%    26.2µs/op   1.5µs/op   (17×)
+//	  25%    27.3µs/op   6.2µs/op   (4.4×)
+//	  75%    32.7µs/op  13.0µs/op   (2.5×)
+//	 100%    30.9µs/op  30.1µs/op   (parity)
+//
+// The dense gather pays a data-dependent branch per (neuron, input)
+// pair, so the branchless column scatter only reaches parity when every
+// input fires; the cutover therefore sits at full density, keeping the
+// dense kernel as the fallback for saturated steps (and as the
+// reference the equivalence tests compare against).
+const sparseCutoverPct = 100
+
 // IFLayer is a dense layer of integrate-and-fire neurons.
 type IFLayer struct {
 	In, Out int
 	// W holds synaptic weights, row-major Out×In. Trainable layers are
-	// updated in place by the EMSTDP trainer.
+	// updated in place by the EMSTDP trainer; any writer MUST call
+	// MarkWeightsDirty afterwards so the transposed view is rebuilt.
 	W []float64
 	// Bias is a constant per-step membrane increment (paper eq 1's b_i).
 	Bias []float64
@@ -32,9 +63,19 @@ type IFLayer struct {
 	// arbitrarily negative, from which they could not recover within the
 	// phase; the floor mirrors Loihi's saturating membrane register.
 	UMin float64
+	// Kernel overrides the per-step kernel choice (tests and benchmarks;
+	// leave KernelAuto in production).
+	Kernel Kernel
 
 	u      []float64
 	spikes []bool
+	active []int32
+	// wt is the column-major (In×Out) transposed weight view the sparse
+	// kernel scatters from; rebuilt lazily when wtDirty.
+	wt      []float64
+	wtDirty bool
+	// acc is the sparse kernel's membrane-drive accumulator.
+	acc []float64
 }
 
 // NewIFLayer builds a dense IF layer with uniformly initialised weights
@@ -42,12 +83,16 @@ type IFLayer struct {
 func NewIFLayer(r *rng.Source, in, out int, scale, theta float64) *IFLayer {
 	l := &IFLayer{
 		In: in, Out: out,
-		W:      make([]float64, in*out),
-		Bias:   make([]float64, out),
-		Theta:  theta,
-		UMin:   -theta,
-		u:      make([]float64, out),
-		spikes: make([]bool, out),
+		W:       make([]float64, in*out),
+		Bias:    make([]float64, out),
+		Theta:   theta,
+		UMin:    -theta,
+		u:       make([]float64, out),
+		spikes:  make([]bool, out),
+		active:  make([]int32, 0, out),
+		wt:      make([]float64, in*out),
+		wtDirty: true,
+		acc:     make([]float64, out),
 	}
 	r.FillUniform(l.W, -scale, scale)
 	return l
@@ -59,24 +104,93 @@ func NewIFLayer(r *rng.Source, in, out int, scale, theta float64) *IFLayer {
 func (l *IFLayer) Clone() *IFLayer {
 	c := &IFLayer{
 		In: l.In, Out: l.Out,
-		W:      make([]float64, len(l.W)),
-		Bias:   make([]float64, len(l.Bias)),
-		Theta:  l.Theta,
-		UMin:   l.UMin,
-		u:      make([]float64, l.Out),
-		spikes: make([]bool, l.Out),
+		W:       make([]float64, len(l.W)),
+		Bias:    make([]float64, len(l.Bias)),
+		Theta:   l.Theta,
+		UMin:    l.UMin,
+		Kernel:  l.Kernel,
+		u:       make([]float64, l.Out),
+		spikes:  make([]bool, l.Out),
+		active:  make([]int32, 0, l.Out),
+		wt:      make([]float64, len(l.W)),
+		wtDirty: true,
+		acc:     make([]float64, l.Out),
 	}
 	copy(c.W, l.W)
 	copy(c.Bias, l.Bias)
 	return c
 }
 
+// MarkWeightsDirty invalidates the transposed weight view after W was
+// written in place. The trainer calls it once per applied update (once
+// per sample), so the retranspose is amortised over the 2T steps of the
+// next sample rather than paid per step.
+func (l *IFLayer) MarkWeightsDirty() { l.wtDirty = true }
+
+// ensureTransposed rebuilds the In×Out view if W changed since the last
+// build.
+func (l *IFLayer) ensureTransposed() {
+	if !l.wtDirty {
+		return
+	}
+	for o := 0; o < l.Out; o++ {
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, w := range row {
+			l.wt[i*l.Out+o] = w
+		}
+	}
+	l.wtDirty = false
+}
+
 // Step integrates one timestep of presynaptic spikes and returns the
-// layer's spike vector (valid until the next Step).
+// layer's spike vector (valid until the next Step). Without an
+// active-index list the dense kernel runs; StepSparse is the
+// event-driven entry point.
 func (l *IFLayer) Step(pre []bool) []bool {
 	if len(pre) != l.In {
 		panic(fmt.Sprintf("snn: layer expects %d inputs, got %d", l.In, len(pre)))
 	}
+	l.stepDense(pre)
+	return l.spikes
+}
+
+// StepSparse integrates one timestep given both the dense spike vector
+// and its active-index list (ascending, as produced alongside pre by the
+// upstream Step). The kernel is chosen per step from the popcount:
+// event-driven column scatter below the density cutover, dense row
+// gather above it. Both kernels accumulate each neuron's drive in the
+// same order — bias first, then ascending presynaptic index — so the
+// float result is bit-identical whichever runs.
+func (l *IFLayer) StepSparse(pre []bool, preActive []int32) []bool {
+	if len(pre) != l.In {
+		panic(fmt.Sprintf("snn: layer expects %d inputs, got %d", l.In, len(pre)))
+	}
+	if preActive == nil {
+		l.stepDense(pre)
+		return l.spikes
+	}
+	useSparse := len(preActive)*100 < l.In*sparseCutoverPct
+	switch l.Kernel {
+	case KernelDense:
+		useSparse = false
+	case KernelSparse:
+		useSparse = true
+	}
+	if useSparse {
+		l.stepSparse(preActive)
+	} else {
+		l.stepDense(pre)
+	}
+	return l.spikes
+}
+
+// Active returns the indices of the neurons that fired in the last step
+// (ascending; valid until the next step).
+func (l *IFLayer) Active() []int32 { return l.active }
+
+// stepDense is the O(Out×In) row-gather kernel.
+func (l *IFLayer) stepDense(pre []bool) {
+	l.active = l.active[:0]
 	for o := 0; o < l.Out; o++ {
 		row := l.W[o*l.In : (o+1)*l.In]
 		acc := l.Bias[o]
@@ -85,19 +199,45 @@ func (l *IFLayer) Step(pre []bool) []bool {
 				acc += row[i]
 			}
 		}
-		u := l.u[o] + acc
-		if u >= l.Theta {
-			u -= l.Theta
-			l.spikes[o] = true
-		} else {
-			l.spikes[o] = false
-		}
-		if u < l.UMin {
-			u = l.UMin
-		}
-		l.u[o] = u
+		l.finishNeuron(o, acc)
 	}
-	return l.spikes
+}
+
+// stepSparse is the event-driven kernel: for each active presynaptic
+// index, add its contiguous weight column into the membrane accumulator
+// — O(spikes×Out) cache-friendly scatter instead of the dense gather.
+func (l *IFLayer) stepSparse(preActive []int32) {
+	l.ensureTransposed()
+	out := l.Out
+	acc := l.acc
+	copy(acc, l.Bias)
+	for _, k := range preActive {
+		col := l.wt[int(k)*out : (int(k)+1)*out]
+		for o, w := range col {
+			acc[o] += w
+		}
+	}
+	l.active = l.active[:0]
+	for o := 0; o < out; o++ {
+		l.finishNeuron(o, acc[o])
+	}
+}
+
+// finishNeuron integrates accumulated drive, thresholds, and records the
+// spike in both the dense vector and the active list.
+func (l *IFLayer) finishNeuron(o int, acc float64) {
+	u := l.u[o] + acc
+	if u >= l.Theta {
+		u -= l.Theta
+		l.spikes[o] = true
+		l.active = append(l.active, int32(o))
+	} else {
+		l.spikes[o] = false
+	}
+	if u < l.UMin {
+		u = l.UMin
+	}
+	l.u[o] = u
 }
 
 // Inject adds v directly to neuron o's membrane potential. EMSTDP's
@@ -123,6 +263,7 @@ func (l *IFLayer) Reset() {
 		l.u[i] = 0
 		l.spikes[i] = false
 	}
+	l.active = l.active[:0]
 }
 
 // ErrChannel is a bank of signed error accumulators implementing the

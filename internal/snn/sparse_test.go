@@ -1,0 +1,136 @@
+package snn
+
+import (
+	"fmt"
+	"testing"
+
+	"emstdp/internal/rng"
+)
+
+// randomSpikes fills pre with the given firing density and returns the
+// matching active-index list.
+func randomSpikes(r *rng.Source, pre []bool, density float64) []int32 {
+	var active []int32
+	for i := range pre {
+		pre[i] = r.Float64() < density
+		if pre[i] {
+			active = append(active, int32(i))
+		}
+	}
+	return active
+}
+
+// TestSparseKernelBitIdenticalToDense drives two identical layers — one
+// forced dense, one forced sparse — with the same spike trains across a
+// sweep of densities and demands byte-identical spikes, membranes and
+// active lists at every step. This is the accumulation-order guarantee
+// the cutover relies on: both kernels add bias first, then weights in
+// ascending presynaptic index.
+func TestSparseKernelBitIdenticalToDense(t *testing.T) {
+	const in, out = 97, 53
+	for _, density := range []float64{0, 0.02, 0.1, 0.3, 0.6, 0.95, 1} {
+		dense := NewIFLayer(rng.New(11), in, out, 0.4, 1.0)
+		sparse := dense.Clone()
+		dense.Kernel = KernelDense
+		sparse.Kernel = KernelSparse
+		r := rng.New(uint64(1000 * (1 + density)))
+		pre := make([]bool, in)
+		for step := 0; step < 200; step++ {
+			active := randomSpikes(r, pre, density)
+			sd := dense.StepSparse(pre, active)
+			ss := sparse.StepSparse(pre, active)
+			for o := 0; o < out; o++ {
+				if sd[o] != ss[o] {
+					t.Fatalf("density %.2f step %d: spike[%d] dense=%v sparse=%v",
+						density, step, o, sd[o], ss[o])
+				}
+				if dense.Potential(o) != sparse.Potential(o) {
+					t.Fatalf("density %.2f step %d: u[%d] dense=%v sparse=%v",
+						density, step, o, dense.Potential(o), sparse.Potential(o))
+				}
+			}
+			da, sa := dense.Active(), sparse.Active()
+			if len(da) != len(sa) {
+				t.Fatalf("density %.2f step %d: active list lengths %d vs %d",
+					density, step, len(da), len(sa))
+			}
+			for i := range da {
+				if da[i] != sa[i] {
+					t.Fatalf("density %.2f step %d: active[%d] %d vs %d",
+						density, step, i, da[i], sa[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSparseKernelSeesInPlaceWeightWrites verifies the invalidation
+// contract: an in-place W write followed by MarkWeightsDirty must be
+// visible through the transposed view on the next sparse step.
+func TestSparseKernelSeesInPlaceWeightWrites(t *testing.T) {
+	l := NewIFLayer(rng.New(3), 4, 2, 0, 1.0)
+	l.Kernel = KernelSparse
+	pre := []bool{true, false, false, false}
+	active := []int32{0}
+	l.StepSparse(pre, active) // builds the transpose from the zero weights
+	if got := l.Potential(0); got != 0 {
+		t.Fatalf("potential %v before weight write, want 0", got)
+	}
+	l.W[0*4+0] = 0.75 // post 0 <- pre 0
+	l.MarkWeightsDirty()
+	l.StepSparse(pre, active)
+	if got := l.Potential(0); got != 0.75 {
+		t.Fatalf("potential %v after marked weight write, want 0.75", got)
+	}
+}
+
+// TestStepMatchesStepSparseAuto checks the public dense entry point and
+// the auto-cutover path agree (Step is the dense kernel by definition).
+func TestStepMatchesStepSparseAuto(t *testing.T) {
+	a := NewIFLayer(rng.New(5), 40, 17, 0.5, 1.0)
+	b := a.Clone()
+	r := rng.New(99)
+	pre := make([]bool, 40)
+	for step := 0; step < 100; step++ {
+		active := randomSpikes(r, pre, 0.25)
+		sa := a.Step(pre)
+		sb := b.StepSparse(pre, active)
+		for o := range sa {
+			if sa[o] != sb[o] || a.Potential(o) != b.Potential(o) {
+				t.Fatalf("step %d neuron %d: Step and StepSparse diverge", step, o)
+			}
+		}
+	}
+}
+
+// benchLayerStep times one kernel at one density on the paper's 200→100
+// layer shape. The numbers choose the density cutover (sparseCutoverPct).
+func benchLayerStep(b *testing.B, k Kernel, densityPct int) {
+	const in, out = 200, 100
+	l := NewIFLayer(rng.New(1), in, out, 0.2, 1.0)
+	l.Kernel = k
+	r := rng.New(2)
+	pre := make([]bool, in)
+	active := randomSpikes(r, pre, float64(densityPct)/100)
+	l.StepSparse(pre, active) // warm the transpose outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.StepSparse(pre, active)
+	}
+}
+
+func BenchmarkIFLayerStep_Dense(b *testing.B) {
+	for _, d := range []int{5, 25, 75} {
+		b.Run(fmt.Sprintf("density=%d%%", d), func(b *testing.B) {
+			benchLayerStep(b, KernelDense, d)
+		})
+	}
+}
+
+func BenchmarkIFLayerStep_Sparse(b *testing.B) {
+	for _, d := range []int{5, 25, 75} {
+		b.Run(fmt.Sprintf("density=%d%%", d), func(b *testing.B) {
+			benchLayerStep(b, KernelSparse, d)
+		})
+	}
+}

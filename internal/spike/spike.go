@@ -15,6 +15,43 @@ import (
 	"emstdp/internal/rng"
 )
 
+// ActiveList is the shared sparse-spike representation of the hot path:
+// the ascending indices of the neurons that fired this step, rebuilt in
+// place each step (the backing array is reused, so steady-state use
+// allocates nothing). It rides alongside the existing dense []bool API —
+// producers keep publishing the bool vector and additionally expose the
+// index list, so consumers migrate to event-driven iteration
+// incrementally.
+type ActiveList struct {
+	idx []int32
+}
+
+// NewActiveList returns a list with capacity for n neurons.
+func NewActiveList(n int) *ActiveList {
+	return &ActiveList{idx: make([]int32, 0, n)}
+}
+
+// Gather rebuilds the list from a dense spike vector and returns the
+// indices (valid until the next Gather/Reset).
+func (a *ActiveList) Gather(spikes []bool) []int32 {
+	a.idx = a.idx[:0]
+	for i, s := range spikes {
+		if s {
+			a.idx = append(a.idx, int32(i))
+		}
+	}
+	return a.idx
+}
+
+// Indices returns the current active indices (ascending).
+func (a *ActiveList) Indices() []int32 { return a.idx }
+
+// Len returns the number of active neurons (the step's popcount).
+func (a *ActiveList) Len() int { return len(a.idx) }
+
+// Reset empties the list.
+func (a *ActiveList) Reset() { a.idx = a.idx[:0] }
+
 // BiasEncoder is a bank of bias-driven integrate-and-fire input neurons.
 // Thresholds are uniform; biases are set once per sample.
 type BiasEncoder struct {
@@ -22,6 +59,7 @@ type BiasEncoder struct {
 	bias   []float64
 	u      []float64
 	spikes []bool
+	active *ActiveList
 }
 
 // NewBiasEncoder returns an encoder for n input neurons with threshold
@@ -32,6 +70,7 @@ func NewBiasEncoder(n int, theta float64) *BiasEncoder {
 		bias:   make([]float64, n),
 		u:      make([]float64, n),
 		spikes: make([]bool, n),
+		active: NewActiveList(n),
 	}
 }
 
@@ -48,13 +87,16 @@ func (e *BiasEncoder) SetBiases(b []float64) {
 }
 
 // Step advances one timestep and returns the spike vector (valid until the
-// next Step call).
+// next Step call). The matching active-index list is rebuilt in the same
+// pass and readable through Active.
 func (e *BiasEncoder) Step() []bool {
+	e.active.idx = e.active.idx[:0]
 	for i := range e.u {
 		e.u[i] += e.bias[i]
 		if e.u[i] >= e.Theta {
 			e.u[i] -= e.Theta
 			e.spikes[i] = true
+			e.active.idx = append(e.active.idx, int32(i))
 		} else {
 			e.spikes[i] = false
 		}
@@ -62,26 +104,40 @@ func (e *BiasEncoder) Step() []bool {
 	return e.spikes
 }
 
+// Active returns the indices of the neurons that fired in the last Step
+// (ascending; valid until the next Step call).
+func (e *BiasEncoder) Active() []int32 { return e.active.idx }
+
 // Reset zeroes membrane state (biases are kept).
 func (e *BiasEncoder) Reset() {
 	for i := range e.u {
 		e.u[i] = 0
 	}
+	e.active.Reset()
 }
 
 // QuantizeToPhase quantizes real-valued inputs in [0,1] to T bins, the
 // paper's "Quantize x to T bins" step: the returned values are k/T for
 // integer k, so the spike count over a phase of T steps is exactly k.
 func QuantizeToPhase(x []float64, T int) []float64 {
-	out := make([]float64, len(x))
+	return QuantizeToPhaseInto(make([]float64, len(x)), x, T)
+}
+
+// QuantizeToPhaseInto is the allocation-free variant of QuantizeToPhase:
+// it quantizes into dst (which must have len(x) entries) and returns it.
+// Per-sample hot loops keep a reusable dst.
+func QuantizeToPhaseInto(dst, x []float64, T int) []float64 {
+	if len(dst) != len(x) {
+		panic("spike: quantize destination length mismatch")
+	}
 	for i, v := range x {
 		k := int(fixed.ClampF(v, 0, 1)*float64(T) + 0.5)
 		if k > T {
 			k = T
 		}
-		out[i] = float64(k) / float64(T)
+		dst[i] = float64(k) / float64(T)
 	}
-	return out
+	return dst
 }
 
 // PoissonEncoder is the stochastic alternative to BiasEncoder: each
@@ -143,6 +199,14 @@ func (c *Counter) Observe(spikes []bool) {
 	}
 }
 
+// ObserveActive adds one spike per listed index — the event-driven
+// equivalent of Observe, O(spikes) instead of O(neurons).
+func (c *Counter) ObserveActive(active []int32) {
+	for _, i := range active {
+		c.Counts[i]++
+	}
+}
+
 // Reset zeroes all counts.
 func (c *Counter) Reset() {
 	for i := range c.Counts {
@@ -177,15 +241,37 @@ func NewTrace(n, impulse int) *Trace {
 	return &Trace{Impulse: impulse, DecayNum: 1, DecayShift: 0, vals: make([]int, n)}
 }
 
-// Step applies decay then adds impulses for the given spikes.
+// Step applies decay then adds impulses for the given spikes. The
+// no-decay configuration (DecayShift == 0, EMSTDP's setting) takes a
+// fast path that touches only the spiking entries instead of paying the
+// decay branch for every element every step.
 func (t *Trace) Step(spikes []bool) {
-	for i := range t.vals {
-		if t.DecayShift > 0 {
-			t.vals[i] = (t.vals[i] * t.DecayNum) >> t.DecayShift
+	if t.DecayShift == 0 {
+		for i, s := range spikes {
+			if s {
+				t.vals[i] = int(fixed.SatTrace(int64(t.vals[i]) + int64(t.Impulse)))
+			}
 		}
+		return
+	}
+	for i := range t.vals {
+		t.vals[i] = (t.vals[i] * t.DecayNum) >> t.DecayShift
 		if spikes[i] {
 			t.vals[i] = int(fixed.SatTrace(int64(t.vals[i]) + int64(t.Impulse)))
 		}
+	}
+}
+
+// StepActive is the event-driven no-decay step: a plain saturating count
+// over the given active indices, O(spikes) per step. Only valid with
+// decay disabled — with decay every element changes every step, so a
+// sparse walk cannot be equivalent.
+func (t *Trace) StepActive(active []int32) {
+	if t.DecayShift != 0 {
+		panic("spike: StepActive requires the no-decay configuration")
+	}
+	for _, i := range active {
+		t.vals[i] = int(fixed.SatTrace(int64(t.vals[i]) + int64(t.Impulse)))
 	}
 }
 
