@@ -11,10 +11,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"emstdp/internal/experiments"
+	"emstdp/internal/mapping"
 )
+
+// parseChips turns a comma-separated die-count list ("1,2,4") into the
+// Fig-3 sweep values.
+func parseChips(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad die count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig3, fig4, ablations, adaptation or all")
@@ -22,6 +42,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 1, "engine pool width for sweep grids (1 = sequential, -1 = GOMAXPROCS)")
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = the paper's online protocol)")
+	chips := flag.String("chips", "1", "comma-separated die counts the fig3 grid sweeps (e.g. 1,2,4)")
+	partition := flag.String("partition", "population", "multi-die sharding strategy: population or range")
+	fig3csv := flag.String("fig3csv", "", "also write the fig3 grid as CSV to this path")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -36,6 +59,17 @@ func main() {
 	}
 	sc.Workers = *workers
 	sc.Batch = *batch
+	dieCounts, err := parseChips(*chips)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.Chips = dieCounts
+	if _, err := mapping.ParseStrategy(*partition); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.Partition = *partition
 
 	run := func(name string, f func() error) {
 		start := time.Now()
@@ -76,6 +110,17 @@ func main() {
 				return err
 			}
 			experiments.PrintFig3(os.Stdout, points)
+			if *fig3csv != "" {
+				f, err := os.Create(*fig3csv)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteFig3CSV(f, points); err != nil {
+					return err
+				}
+				fmt.Printf("fig3 CSV written to %s\n", *fig3csv)
+			}
 			return nil
 		})
 	}

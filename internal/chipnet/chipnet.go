@@ -31,6 +31,7 @@ import (
 	"emstdp/internal/emstdp"
 	"emstdp/internal/fixed"
 	"emstdp/internal/loihi"
+	"emstdp/internal/mapping"
 	"emstdp/internal/rng"
 )
 
@@ -83,8 +84,36 @@ type Config struct {
 	NeuronsPerCore int
 	// ConvPerCore packs the (much larger, fixed) conv populations.
 	ConvPerCore int
-	// HW gives the chip limits.
+	// Chips is the number of simulated dies. 0 or 1 deploys the netlist
+	// on a single chip; >1 shards it across a lock-step loihi.Mesh under
+	// the Partition strategy — bit-identical to the single-die
+	// deployment at the same seed, with cross-die spikes accounted as
+	// mesh traffic.
+	Chips int
+	// Partition selects the multi-die sharding strategy (Chips > 1).
+	Partition mapping.Strategy
+	// HW gives the per-die chip limits.
 	HW loihi.HardwareConfig
+}
+
+// fabric is the execution substrate a Network runs on: one die
+// (*loihi.Chip) or a lock-step multi-die board (*loihi.Mesh). Both
+// expose identical schedule, counter and equivalence-hook surfaces, so
+// the EMSTDP host logic is substrate-blind.
+type fabric interface {
+	Step()
+	Run(n int)
+	ApplyLearning()
+	LatchGates()
+	ResetPhaseTraces()
+	ResetMembranes()
+	ResetState()
+	CountHostTransaction(n int)
+	SetDenseDelivery(v bool)
+	Counters() loihi.Counters
+	ResetCounters()
+	ActiveCores() int
+	MaxCompartmentsOnACore() int
 }
 
 // DefaultConfig mirrors the paper's settings: T=64, 8-bit weights,
@@ -110,10 +139,17 @@ func DefaultConfig(layerSizes ...int) Config {
 	}
 }
 
-// Network is an EMSTDP network deployed on the simulated chip.
+// Network is an EMSTDP network deployed on the simulated chip (or, with
+// cfg.Chips > 1, sharded across a multi-die mesh).
 type Network struct {
-	cfg  Config
+	cfg Config
+	// chip is the single die (nil when the network runs on a mesh);
+	// mesh is the multi-die board (nil for a single die); fab is
+	// whichever of the two is active.
 	chip *loihi.Chip
+	mesh *loihi.Mesh
+	fab  fabric
+	part *mapping.Partition
 
 	conv *convFront // nil when the network consumes features directly
 
@@ -216,21 +252,68 @@ func newCommon(cfg Config) (*Network, error) {
 	if cfg.Theta <= 0 || cfg.Theta&(cfg.Theta-1) != 0 {
 		return nil, fmt.Errorf("chipnet: Theta=%d must be a positive power of two", cfg.Theta)
 	}
-	n := &Network{cfg: cfg, chip: loihi.New(cfg.HW), perCoreOf: map[*loihi.Population]int{}, pendingLabel: -1}
+	if cfg.Chips < 0 {
+		return nil, fmt.Errorf("chipnet: Chips=%d must be non-negative", cfg.Chips)
+	}
+	n := &Network{cfg: cfg, perCoreOf: map[*loihi.Population]int{}, pendingLabel: -1}
+	if cfg.Chips > 1 {
+		part, err := mapping.NewPartition(cfg.HW, cfg.Chips, cfg.Partition)
+		if err != nil {
+			return nil, err
+		}
+		n.part = part
+		n.mesh = loihi.NewMesh(cfg.HW, cfg.Chips)
+		n.fab = n.mesh
+	} else {
+		n.chip = loihi.New(cfg.HW)
+		n.fab = n.chip
+	}
 	n.phaseOn = []int32{16}
 	n.phaseOff = []int32{0}
 	n.zeroLabel = make([]int32, cfg.LayerSizes[len(cfg.LayerSizes)-1])
 	return n, nil
 }
 
-// place maps a population onto the next free cores.
+// place maps a population onto the next free cores — of the single die,
+// or of the dies the partitioner chose.
 func (n *Network) place(p *loihi.Population, perCore int) error {
+	if n.mesh != nil {
+		// Mirror the single-die validation: the partitioner would clamp
+		// an over-limit packing silently, but the same Config must
+		// behave identically regardless of Chips.
+		if perCore <= 0 {
+			return fmt.Errorf("loihi: perCore must be positive, got %d", perCore)
+		}
+		if perCore > n.cfg.HW.MaxCompartmentsPerCore {
+			return fmt.Errorf("loihi: perCore %d exceeds compartments/core limit %d",
+				perCore, n.cfg.HW.MaxCompartmentsPerCore)
+		}
+		pl, err := n.part.Assign(p.Name, p.N, perCore, 0)
+		if err != nil {
+			return err
+		}
+		for _, s := range pl.Shards {
+			if err := n.mesh.AddPopulation(p, s.Die, s.Lo, s.Hi, s.FirstCore, s.PerCore); err != nil {
+				return err
+			}
+		}
+		n.perCoreOf[p] = pl.PerCore
+		return nil
+	}
 	if err := n.chip.AddPopulation(p, n.nextCore, perCore); err != nil {
 		return err
 	}
 	n.perCoreOf[p] = perCore
 	n.nextCore += (p.N + perCore - 1) / perCore
 	return nil
+}
+
+// connect registers a connector on the active fabric.
+func (n *Network) connect(g loihi.Connector) error {
+	if n.mesh != nil {
+		return n.mesh.Connect(g)
+	}
+	return n.chip.Connect(g)
 }
 
 // intWeight decomposes an integer-valued membrane weight into an int8
@@ -282,7 +365,7 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 			n.rules = append(n.rules, rule)
 			n.baseShifts = append(n.baseShifts, shift)
 		}
-		if err := n.chip.Connect(g); err != nil {
+		if err := n.connect(g); err != nil {
 			return err
 		}
 		n.fwd = append(n.fwd, p)
@@ -334,7 +417,7 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 		{"loss:out->e-", fwdOut, n.errOutNeg, wL},
 	}
 	for _, tp := range taps {
-		if err := n.chip.Connect(loihi.NewDiagonalGroup(tp.name, tp.pre, tp.post, tp.w, wLExp)); err != nil {
+		if err := n.connect(loihi.NewDiagonalGroup(tp.name, tp.pre, tp.post, tp.w, wLExp)); err != nil {
 			return err
 		}
 	}
@@ -342,10 +425,10 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 	// Output correction: error spikes drive the output forward neurons
 	// toward the target rate.
 	injW, injExp := intWeight(cfg.Inject * theta)
-	if err := n.chip.Connect(loihi.NewDiagonalGroup("inj:e+->out", n.errOutPos, fwdOut, injW, injExp)); err != nil {
+	if err := n.connect(loihi.NewDiagonalGroup("inj:e+->out", n.errOutPos, fwdOut, injW, injExp)); err != nil {
 		return err
 	}
-	if err := n.chip.Connect(loihi.NewDiagonalGroup("inj:e-->out", n.errOutNeg, fwdOut, -injW, injExp)); err != nil {
+	if err := n.connect(loihi.NewDiagonalGroup("inj:e-->out", n.errOutNeg, fwdOut, -injW, injExp)); err != nil {
 		return err
 	}
 
@@ -388,10 +471,10 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 		// One-to-one taps: e⁺ → relay⁺, e⁻ → relay⁻ (positive error
 		// stays positive through the relay; the channels don't cross at
 		// an identity stage).
-		if err := n.chip.Connect(loihi.NewDiagonalGroup("relay:e+", n.errOutPos, relayPos, wL, wLExp)); err != nil {
+		if err := n.connect(loihi.NewDiagonalGroup("relay:e+", n.errOutPos, relayPos, wL, wLExp)); err != nil {
 			return err
 		}
-		if err := n.chip.Connect(loihi.NewDiagonalGroup("relay:e-", n.errOutNeg, relayNeg, wL, wLExp)); err != nil {
+		if err := n.connect(loihi.NewDiagonalGroup("relay:e-", n.errOutNeg, relayNeg, wL, wLExp)); err != nil {
 			return err
 		}
 	}
@@ -442,7 +525,7 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 				eff[j] = sign * v
 			}
 			g.SetWeightsFloat(eff, float64(cfg.ThetaErr), 1)
-			return n.chip.Connect(g)
+			return n.connect(g)
 		}
 		if err := conn(fmt.Sprintf("fa:e+->h+%d", i), srcPos, n.errHidPos[i], +1); err != nil {
 			return err
@@ -458,11 +541,11 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 		}
 
 		// Hidden correction injections.
-		if err := n.chip.Connect(loihi.NewDiagonalGroup(
+		if err := n.connect(loihi.NewDiagonalGroup(
 			fmt.Sprintf("inj:h+->f%d", i), n.errHidPos[i], n.fwd[i], injW, injExp)); err != nil {
 			return err
 		}
-		if err := n.chip.Connect(loihi.NewDiagonalGroup(
+		if err := n.connect(loihi.NewDiagonalGroup(
 			fmt.Sprintf("inj:h-->f%d", i), n.errHidNeg[i], n.fwd[i], -injW, injExp)); err != nil {
 			return err
 		}
@@ -471,8 +554,27 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 	return nil
 }
 
-// Chip exposes the underlying simulator (counters, occupancy).
+// Chip exposes the underlying single-die simulator (counters,
+// occupancy, OnStep probes). It is nil when the network is sharded
+// across a mesh (cfg.Chips > 1) — use Mesh, Counters and ResetCounters
+// there, which also work for a single die.
 func (n *Network) Chip() *loihi.Chip { return n.chip }
+
+// Mesh exposes the multi-die board (per-die counters, traffic), or nil
+// for a single-die deployment.
+func (n *Network) Mesh() *loihi.Mesh { return n.mesh }
+
+// PartitionPlan returns the multi-die placement, or nil for a
+// single-die deployment.
+func (n *Network) PartitionPlan() *mapping.Partition { return n.part }
+
+// Counters returns the fabric's aggregated activity counters (for a
+// mesh: the deterministic die-order reduction, equal to the single-die
+// counters of the same netlist).
+func (n *Network) Counters() loihi.Counters { return n.fab.Counters() }
+
+// ResetCounters zeroes the fabric's activity (and traffic) counters.
+func (n *Network) ResetCounters() { n.fab.ResetCounters() }
 
 // Forward exposes forward dense population i (for diagnostics taps).
 func (n *Network) Forward(i int) *loihi.Population { return n.fwd[i] }
@@ -491,10 +593,10 @@ func (n *Network) Label() *loihi.Population { return n.label }
 func (n *Network) Config() Config { return n.cfg }
 
 // CoresUsed returns the number of occupied cores.
-func (n *Network) CoresUsed() int { return n.chip.ActiveCores() }
+func (n *Network) CoresUsed() int { return n.fab.ActiveCores() }
 
 // MaxNeuronsPerCore returns the busiest core occupancy.
-func (n *Network) MaxNeuronsPerCore() int { return n.chip.MaxCompartmentsOnACore() }
+func (n *Network) MaxNeuronsPerCore() int { return n.fab.MaxCompartmentsOnACore() }
 
 // MaxPlasticNeuronsPerCore returns the busiest core occupancy among the
 // populations that hold plastic synapses (the forward dense layers).

@@ -31,9 +31,9 @@ func (n *Network) runPhaseEvents(pop *loihi.Population, events EventTrain) {
 	for t := 0; t < n.cfg.T; t++ {
 		if t < len(events) {
 			tx := pop.InjectSpikes(events[t])
-			n.chip.CountHostTransaction(tx)
+			n.fab.CountHostTransaction(tx)
 		}
-		n.chip.Step()
+		n.fab.Step()
 	}
 }
 
@@ -48,29 +48,29 @@ func (n *Network) TrainSampleEvents(events EventTrain, label int) {
 	if label < 0 || label >= n.label.N {
 		panic(fmt.Sprintf("chipnet: label %d out of range [0,%d)", label, n.label.N))
 	}
-	n.chip.ResetState()
+	n.fab.ResetState()
 	n.label.SetBiases(n.zeroLabel)
 	n.phase.SetBiases(n.phaseOff)
 
 	n.runPhaseEvents(pop, events) // phase 1
 
-	n.chip.LatchGates()
-	n.chip.ResetPhaseTraces()
-	n.chip.ResetMembranes()
+	n.fab.LatchGates()
+	n.fab.ResetPhaseTraces()
+	n.fab.ResetMembranes()
 	n.programLabel(label)
 	n.phase.SetBiases(n.phaseOn)
-	n.chip.CountHostTransaction(1)
+	n.fab.CountHostTransaction(1)
 
 	n.runPhaseEvents(pop, events) // phase 2: same stream, now corrected
 
-	n.chip.ApplyLearning()
+	n.fab.ApplyLearning()
 }
 
 // CountsEvents classifies an event train with a phase-1-only pass and
 // returns output spike counts.
 func (n *Network) CountsEvents(events EventTrain) []int {
 	pop := n.validateEvents(events)
-	n.chip.ResetState()
+	n.fab.ResetState()
 	if n.label != nil {
 		n.label.SetBiases(n.zeroLabel)
 		n.phase.SetBiases(n.phaseOff)

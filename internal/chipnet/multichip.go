@@ -1,0 +1,67 @@
+package chipnet
+
+import (
+	"fmt"
+
+	"emstdp/internal/ann"
+	"emstdp/internal/engine"
+	"emstdp/internal/loihi"
+	"emstdp/internal/mapping"
+)
+
+// MultiChip is an EMSTDP network sharded across several simulated dies
+// stepping in lock-step — the population-level generalisation of
+// chipnet.Clone from one replica per chip to one netlist per board. It
+// is a plain Network whose fabric is a loihi.Mesh, so every host-side
+// schedule (two-phase training, inference, event input, the
+// engine.Runner contract) works unchanged, and results are bit-identical
+// to the same netlist on a single large die at the same seed: the mesh
+// runs the identical sub-phase loops, merely range-partitioned across
+// dies, and the per-group stochastic-rounding streams advance in the
+// same order. What changes is the accounting: activity counters accrue
+// per die, and spikes whose synapses live on another die show up in the
+// mesh traffic counters (one multicast message per destination die,
+// |src−dst| hops on the 1-D board).
+type MultiChip struct {
+	*Network
+}
+
+var _ engine.Runner = (*MultiChip)(nil)
+
+// NewMulti builds a feature-input network sharded across cfg.Chips dies
+// (cfg.Chips must be at least 2; use New for a single die).
+func NewMulti(cfg Config) (*MultiChip, error) {
+	if cfg.Chips < 2 {
+		return nil, fmt.Errorf("chipnet: NewMulti needs Chips >= 2, got %d", cfg.Chips)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiChip{Network: n}, nil
+}
+
+// NewMultiWithConv builds the full conv-front-end network sharded across
+// cfg.Chips dies.
+func NewMultiWithConv(cfg Config, cs *ann.ConvStack, inC, inH, inW int) (*MultiChip, error) {
+	if cfg.Chips < 2 {
+		return nil, fmt.Errorf("chipnet: NewMultiWithConv needs Chips >= 2, got %d", cfg.Chips)
+	}
+	n, err := NewWithConv(cfg, cs, inC, inH, inW)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiChip{Network: n}, nil
+}
+
+// NumDies returns the number of dies on the board.
+func (m *MultiChip) NumDies() int { return m.mesh.NumDies() }
+
+// DieCounters returns die i's activity counters.
+func (m *MultiChip) DieCounters(i int) loihi.Counters { return m.mesh.DieCounters(i) }
+
+// Traffic returns the accumulated inter-die spike traffic.
+func (m *MultiChip) Traffic() loihi.MeshTraffic { return m.mesh.Traffic() }
+
+// Partition returns the placement the partitioner produced.
+func (m *MultiChip) Partition() *mapping.Partition { return m.part }

@@ -36,7 +36,7 @@ func (n *Network) programInput(x []float64) {
 		biases[i] = k * unit
 	}
 	pop.SetBiases(biases)
-	n.chip.CountHostTransaction(1)
+	n.fab.CountHostTransaction(1)
 }
 
 // programLabel writes the target-class biases onto the label neurons.
@@ -52,7 +52,7 @@ func (n *Network) programLabel(label int) {
 		biases[j] = k * (n.cfg.Theta / int32(n.cfg.T))
 	}
 	n.label.SetBiases(biases)
-	n.chip.CountHostTransaction(1)
+	n.fab.CountHostTransaction(1)
 }
 
 // TrainSample runs the two-phase EMSTDP schedule for one labelled sample
@@ -81,7 +81,7 @@ func (n *Network) ProgramSample(x []float64, label int) {
 			panic(fmt.Sprintf("chipnet: label %d out of range [0,%d)", label, n.label.N))
 		}
 	}
-	n.chip.ResetState()
+	n.fab.ResetState()
 	n.programInput(x)
 	if n.label != nil {
 		n.label.SetBiases(n.zeroLabel)
@@ -96,21 +96,21 @@ func (n *Network) ProgramSample(x []float64, label int) {
 // that is ApplyUpdate, so a replica can run the phases while the master
 // applies the update.
 func (n *Network) RunPhases(train bool) {
-	n.chip.Run(n.cfg.T) // phase 1
+	n.fab.Run(n.cfg.T) // phase 1
 	if !train {
 		return
 	}
 	if n.pendingLabel < 0 {
 		panic("chipnet: RunPhases(train) without a labelled ProgramSample")
 	}
-	n.chip.LatchGates()
-	n.chip.ResetPhaseTraces()
-	n.chip.ResetMembranes()
+	n.fab.LatchGates()
+	n.fab.ResetPhaseTraces()
+	n.fab.ResetMembranes()
 	n.programLabel(n.pendingLabel)
 	n.phase.SetBiases(n.phaseOn)
-	n.chip.CountHostTransaction(1) // the phase-control bias write
+	n.fab.CountHostTransaction(1) // the phase-control bias write
 
-	n.chip.Run(n.cfg.T) // phase 2
+	n.fab.Run(n.cfg.T) // phase 2
 }
 
 // ReadCounts returns the output layer's spike counts from the most
@@ -152,7 +152,7 @@ func (n *Network) Predict(x []float64) int {
 // SetDenseDelivery forwards the equivalence-test hook to the chip: every
 // connector switches between the reference dense kernel and the
 // event-driven one (bit-identical by construction).
-func (n *Network) SetDenseDelivery(v bool) { n.chip.SetDenseDelivery(v) }
+func (n *Network) SetDenseDelivery(v bool) { n.fab.SetDenseDelivery(v) }
 
 // OutputCountsPhase2 returns the output layer's phase-2 spike counts of
 // the most recent TrainSample — ĥ, exposed for tests and diagnostics.

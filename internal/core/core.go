@@ -24,6 +24,7 @@ import (
 	"emstdp/internal/dataset"
 	"emstdp/internal/emstdp"
 	"emstdp/internal/engine"
+	"emstdp/internal/mapping"
 	"emstdp/internal/metrics"
 	"emstdp/internal/rng"
 	"emstdp/internal/tensor"
@@ -70,6 +71,17 @@ type Options struct {
 	// NeuronsPerCore is the chip mapping knob (default 10; chip backend
 	// only).
 	NeuronsPerCore int
+	// Chips is the number of simulated dies for the chip backend
+	// (default 1). Values > 1 shard the netlist across a lock-step
+	// multi-die mesh — results stay bit-identical to the single-die
+	// deployment at the same seed, with cross-die spikes accounted as
+	// mesh traffic.
+	Chips int
+	// PartitionStrategy names the multi-die sharding strategy:
+	// "population" (default; whole populations, least-loaded die) or
+	// "range" (every population split across all dies). Chip backend
+	// with Chips > 1 only.
+	PartitionStrategy string
 	// ConvOnChip additionally maps the frozen conv stack as spiking
 	// populations (chip backend only). When false, conv features are
 	// computed off-chip and programmed as input biases; accuracy is
@@ -111,6 +123,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NeuronsPerCore == 0 {
 		o.NeuronsPerCore = 10
+	}
+	if o.Chips == 0 {
+		o.Chips = 1
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
@@ -185,7 +200,12 @@ func Build(opts Options) (*Model, error) {
 		cfg.Mode = opts.Mode
 		cfg.Seed = opts.Seed + 3
 		cfg.NeuronsPerCore = opts.NeuronsPerCore
-		var err error
+		cfg.Chips = opts.Chips
+		strategy, err := mapping.ParseStrategy(opts.PartitionStrategy)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		cfg.Partition = strategy
 		if opts.ConvOnChip {
 			m.chip, err = chipnet.NewWithConv(cfg, m.Conv, m.DS.C, m.DS.H, m.DS.W)
 		} else {

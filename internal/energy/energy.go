@@ -47,6 +47,12 @@ type LoihiModel struct {
 	EnergyPerSpike    float64
 	// EnergyPerLearnOp is the learning-engine energy per synapse visit (J).
 	EnergyPerLearnOp float64
+	// EnergyPerMeshSpike is the serialisation/deserialisation energy of
+	// one spike message leaving its die over the inter-chip fabric (J).
+	EnergyPerMeshSpike float64
+	// EnergyPerHop is the per-hop link traversal energy of a cross-die
+	// spike message on the 1-D board (J).
+	EnergyPerHop float64
 }
 
 // DefaultLoihi returns coefficients calibrated against Table II and
@@ -63,6 +69,8 @@ func DefaultLoihi() LoihiModel {
 		EnergyPerSynEvent:   25e-12,
 		EnergyPerSpike:      2e-9,
 		EnergyPerLearnOp:    10e-12,
+		EnergyPerMeshSpike:  1e-9,
+		EnergyPerHop:        400e-12,
 	}
 }
 
@@ -71,17 +79,36 @@ type LoihiReport struct {
 	Samples           int
 	TimeSeconds       float64 // total wall-clock including per-sample overhead
 	PowerWatts        float64 // average active power
-	EnergyJ           float64 // total energy
+	EnergyJ           float64 // total energy (includes mesh energy)
 	FPS               float64
 	EnergyPerSampleJ  float64
 	CoresUsed         int
 	MaxNeuronsPerCore int
+	// MeshEnergyJ is the inter-die fabric's share of EnergyJ (zero on a
+	// single die).
+	MeshEnergyJ float64
 }
 
 // Analyze converts simulator activity counters plus the chip occupancy
 // into time/power/energy for a run of nSamples (training if train, which
 // adds the weight-update and extra host overhead per sample).
 func (m LoihiModel) Analyze(c loihi.Counters, coresUsed, maxNeuronsPerCore, nSamples int, train bool) LoihiReport {
+	return m.AnalyzeMesh(c, loihi.MeshTraffic{}, coresUsed, maxNeuronsPerCore, nSamples, train)
+}
+
+// MeshEnergyJ returns the inter-die fabric energy of the given traffic:
+// per-message serialisation plus per-hop link traversal.
+func (m LoihiModel) MeshEnergyJ(t loihi.MeshTraffic) float64 {
+	return float64(t.CrossDieSpikes)*m.EnergyPerMeshSpike + float64(t.SpikeHops)*m.EnergyPerHop
+}
+
+// AnalyzeMesh is Analyze for a multi-die deployment: counters are the
+// board-level deterministic reduction over the dies (loihi.Mesh.Counters
+// — equal to the single-die counters of the same netlist, which is what
+// the conformance suite pins), coresUsed the powered-on cores across all
+// dies, and the mesh traffic's energy joins the total on top of the
+// single-die-equivalent figure.
+func (m LoihiModel) AnalyzeMesh(c loihi.Counters, t loihi.MeshTraffic, coresUsed, maxNeuronsPerCore, nSamples int, train bool) LoihiReport {
 	stepTime := m.StepTimeBase
 	if extra := maxNeuronsPerCore - 1; extra > 0 {
 		stepTime += m.StepTimePerNeuron * float64(extra)
@@ -96,7 +123,8 @@ func (m LoihiModel) Analyze(c loihi.Counters, coresUsed, maxNeuronsPerCore, nSam
 	dynamicEnergy := float64(c.SynapticEvents)*m.EnergyPerSynEvent +
 		float64(c.Spikes)*m.EnergyPerSpike +
 		float64(c.LearningOps)*m.EnergyPerLearnOp
-	energy := staticPower*total + dynamicEnergy
+	meshEnergy := m.MeshEnergyJ(t)
+	energy := staticPower*total + dynamicEnergy + meshEnergy
 
 	rep := LoihiReport{
 		Samples:           nSamples,
@@ -104,6 +132,7 @@ func (m LoihiModel) Analyze(c loihi.Counters, coresUsed, maxNeuronsPerCore, nSam
 		EnergyJ:           energy,
 		CoresUsed:         coresUsed,
 		MaxNeuronsPerCore: maxNeuronsPerCore,
+		MeshEnergyJ:       meshEnergy,
 	}
 	if total > 0 {
 		rep.PowerWatts = energy / total

@@ -1,0 +1,103 @@
+package energy_test
+
+import (
+	"testing"
+
+	"emstdp/internal/chipnet"
+	"emstdp/internal/energy"
+	"emstdp/internal/loihi"
+	"emstdp/internal/mapping"
+	"emstdp/internal/rng"
+)
+
+// trainWorkload drives the same deterministic Table-II-style measured
+// region (reset counters, train n samples) on any network.
+func trainWorkload(net *chipnet.Network, n int) {
+	r := rng.New(17)
+	x := make([]float64, 64)
+	net.ResetCounters()
+	for i := 0; i < n; i++ {
+		for j := range x {
+			x[j] = r.Uniform(0, 0.8)
+		}
+		net.TrainSample(x, r.Intn(10))
+	}
+}
+
+func buildNet(t *testing.T, dies int) *chipnet.Network {
+	t.Helper()
+	cfg := chipnet.DefaultConfig(64, 256, 10)
+	cfg.Seed = 5
+	cfg.Chips = dies
+	cfg.Partition = mapping.StrategyRange
+	net, err := chipnet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestMeshEnergyAggregation is the "energy counters under parallelism"
+// extension to per-die counters: the deterministic die-order reduction
+// of the per-die activity counters must reproduce the single-die
+// Table II numbers exactly — same counters in, same Analyze out — with
+// the inter-die fabric's energy appearing only as the separate additive
+// MeshEnergyJ term.
+func TestMeshEnergyAggregation(t *testing.T) {
+	const samples = 8
+	single := buildNet(t, 1)
+	multi := buildNet(t, 2)
+	trainWorkload(single, samples)
+	trainWorkload(multi, samples)
+
+	sc, mc := single.Counters(), multi.Counters()
+	if sc != mc {
+		t.Fatalf("aggregated counters diverge:\nsingle %+v\nmesh   %+v", sc, mc)
+	}
+
+	// The reduction really is a sum over dies (plus the lock-step Steps
+	// convention).
+	mesh := multi.Mesh()
+	var sum loihi.Counters
+	for d := 0; d < mesh.NumDies(); d++ {
+		sum.Add(mesh.DieCounters(d))
+	}
+	sum.Steps = mesh.DieCounters(0).Steps
+	if sum != mc {
+		t.Fatalf("die-order reduction %+v != aggregate %+v", sum, mc)
+	}
+
+	model := energy.DefaultLoihi()
+	refRep := model.Analyze(sc, single.CoresUsed(), single.MaxPlasticNeuronsPerCore(), samples, true)
+	meshRep := model.AnalyzeMesh(mc, mesh.Traffic(), multi.CoresUsed(), multi.MaxPlasticNeuronsPerCore(), samples, true)
+
+	// Same Table II numbers, plus exactly the fabric term.
+	if meshRep.TimeSeconds != refRep.TimeSeconds || meshRep.FPS != refRep.FPS {
+		t.Fatalf("timing diverged: mesh %+v single %+v", meshRep, refRep)
+	}
+	if meshRep.CoresUsed != refRep.CoresUsed {
+		t.Fatalf("cores used %d != %d", meshRep.CoresUsed, refRep.CoresUsed)
+	}
+	if tr := mesh.Traffic(); tr.CrossDieSpikes == 0 {
+		t.Fatal("range partition produced no cross-die traffic")
+	}
+	if meshRep.MeshEnergyJ <= 0 {
+		t.Fatalf("mesh energy %v, want > 0", meshRep.MeshEnergyJ)
+	}
+	if got, want := meshRep.EnergyJ, refRep.EnergyJ+meshRep.MeshEnergyJ; got != want {
+		t.Fatalf("mesh energy not additive: got %v want %v", got, want)
+	}
+	if refRep.MeshEnergyJ != 0 {
+		t.Fatalf("single-die report carries mesh energy %v", refRep.MeshEnergyJ)
+	}
+}
+
+// TestMeshEnergyJ pins the fabric energy formula.
+func TestMeshEnergyJ(t *testing.T) {
+	m := energy.DefaultLoihi()
+	tr := loihi.MeshTraffic{CrossDieSpikes: 1000, SpikeHops: 2500}
+	want := 1000*m.EnergyPerMeshSpike + 2500*m.EnergyPerHop
+	if got := m.MeshEnergyJ(tr); got != want {
+		t.Fatalf("MeshEnergyJ = %v, want %v", got, want)
+	}
+}

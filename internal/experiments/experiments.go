@@ -18,6 +18,8 @@ import (
 	"emstdp/internal/energy"
 	"emstdp/internal/engine"
 	"emstdp/internal/incremental"
+	"emstdp/internal/loihi"
+	"emstdp/internal/mapping"
 )
 
 // Scale sizes an experiment run. Quick keeps unit-test and bench
@@ -41,6 +43,32 @@ type Scale struct {
 	// 1 (default) is the paper's online protocol, larger values trade
 	// protocol fidelity for replica parallelism inside each cell.
 	Batch int
+	// Chips lists the die counts the Fig-3 grid sweeps (nil or empty =
+	// {1}, the paper's single-die study). Multi-die cells shard the
+	// netlist across a lock-step mesh and report inter-die traffic.
+	Chips []int
+	// Partition names the sharding strategy for multi-die grid cells
+	// ("population" or "range"; "" = population).
+	Partition string
+	// PerCore lists the neurons-per-core packings Fig 3 sweeps (nil =
+	// the paper's 5,10,…,30).
+	PerCore []int
+}
+
+// fig3Chips returns the die counts the grid sweeps.
+func (sc Scale) fig3Chips() []int {
+	if len(sc.Chips) == 0 {
+		return []int{1}
+	}
+	return sc.Chips
+}
+
+// fig3PerCore returns the packings the grid sweeps.
+func (sc Scale) fig3PerCore() []int {
+	if len(sc.PerCore) == 0 {
+		return []int{5, 10, 15, 20, 25, 30}
+	}
+	return sc.PerCore
 }
 
 // pool returns the engine pool the sweep grids shard through.
@@ -188,12 +216,12 @@ func Table2(sc Scale, seed uint64) ([]Table2Row, error) {
 	model := energy.DefaultLoihi()
 
 	// Training measurement.
-	net.Chip().ResetCounters()
+	net.ResetCounters()
 	for i := 0; i < sc.EnergySamples; i++ {
 		s := m.DS.Train[i%len(m.DS.Train)]
 		net.TrainSample(s.Image.Data, s.Label)
 	}
-	trainRep := model.Analyze(net.Chip().Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+	trainRep := model.Analyze(net.Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
 
 	// Inference-only deployment (backward paths not implemented, §IV-A2).
 	infCfg := chipnet.DefaultConfig(append([]int{m.Conv.OutSize()}, 100, m.DS.NumClasses)...)
@@ -203,11 +231,11 @@ func Table2(sc Scale, seed uint64) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	inf.Chip().ResetCounters()
+	inf.ResetCounters()
 	for i := 0; i < sc.EnergySamples; i++ {
 		inf.Predict(m.DS.Test[i%len(m.DS.Test)].Image.Data)
 	}
-	testRep := model.Analyze(inf.Chip().Counters(), inf.CoresUsed(), inf.MaxPlasticNeuronsPerCore(), sc.EnergySamples, false)
+	testRep := model.Analyze(inf.Counters(), inf.CoresUsed(), inf.MaxPlasticNeuronsPerCore(), sc.EnergySamples, false)
 
 	macs := energy.NetworkMACs(
 		energy.ConvMACs(16, m.Conv.Conv1.OutH, m.Conv.Conv1.OutW, m.DS.C, 5, 5)+
@@ -251,31 +279,45 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 	}
 }
 
-// Fig3Point is one x-position of Fig 3 for one feedback mode.
+// Fig3Point is one x-position of Fig 3 for one feedback mode, die count
+// and packing.
 type Fig3Point struct {
 	Mode            emstdp.FeedbackMode
+	Chips           int
+	Partition       string
 	NeuronsPerCore  int
 	Cores           int
 	TimeFor10k      float64 // seconds to train 10000 samples
 	PowerWatts      float64
 	EnergyPerSample float64 // J
+	// Inter-die traffic of the measured region (zero on one die).
+	MeshSpikes, MeshHops int64
+	// MeshEnergyPerSample is the fabric's share of EnergyPerSample (J).
+	MeshEnergyPerSample float64
 }
 
-// Fig3 sweeps the neurons-per-core packing for both feedback modes,
-// measuring activity over sc.EnergySamples training samples and scaling
-// to the paper's 10000-sample training run. Mapping points are
-// independent chip deployments, so the sweep runs through the engine
-// pool (each point's simulated chip stays sequential — the activity
-// counters must come from one chip driving its own samples).
+// Fig3 sweeps the neurons-per-core packing — and, beyond the paper, the
+// die count — for both feedback modes, measuring activity over
+// sc.EnergySamples training samples and scaling to the paper's
+// 10000-sample training run. Mapping points are independent chip (or
+// mesh) deployments, so the sweep runs through the engine pool (each
+// point's simulated fabric stays sequential — the activity counters
+// must come from one deployment driving its own samples). Multi-die
+// cells are bit-identical to their single-die column by construction;
+// what the sweep exposes is the added mesh traffic and fabric energy of
+// each partition strategy.
 func Fig3(sc Scale, seed uint64) ([]Fig3Point, error) {
 	type point struct {
-		mode emstdp.FeedbackMode
-		per  int
+		mode  emstdp.FeedbackMode
+		chips int
+		per   int
 	}
 	var grid []point
 	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
-		for per := 5; per <= 30; per += 5 {
-			grid = append(grid, point{mode, per})
+		for _, chips := range sc.fig3Chips() {
+			for _, per := range sc.fig3PerCore() {
+				grid = append(grid, point{mode, chips, per})
+			}
 		}
 	}
 	points := make([]Fig3Point, len(grid))
@@ -283,33 +325,45 @@ func Fig3(sc Scale, seed uint64) ([]Fig3Point, error) {
 	err := mapGrid(sc.pool(), len(grid), func(i int) error {
 		p := grid[i]
 		m, err := core.Build(core.Options{
-			Dataset:        dataset.MNIST,
-			Backend:        core.Chip,
-			Mode:           p.mode,
-			ConvOnChip:     true,
-			NeuronsPerCore: p.per,
-			TrainSamples:   maxInt(sc.EnergySamples, 10),
-			TestSamples:    10,
-			PretrainEpochs: 1,
-			Seed:           seed,
+			Dataset:           dataset.MNIST,
+			Backend:           core.Chip,
+			Mode:              p.mode,
+			ConvOnChip:        true,
+			NeuronsPerCore:    p.per,
+			Chips:             p.chips,
+			PartitionStrategy: sc.Partition,
+			TrainSamples:      maxInt(sc.EnergySamples, 10),
+			TestSamples:       10,
+			PretrainEpochs:    1,
+			Seed:              seed,
 		})
 		if err != nil {
 			return err
 		}
 		net := m.ChipNetwork()
-		net.Chip().ResetCounters()
+		net.ResetCounters()
 		for j := 0; j < sc.EnergySamples; j++ {
 			s := m.DS.Train[j%len(m.DS.Train)]
 			net.TrainSample(s.Image.Data, s.Label)
 		}
-		rep := model.Analyze(net.Chip().Counters(), net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+		var traffic loihi.MeshTraffic
+		if mesh := net.Mesh(); mesh != nil {
+			traffic = mesh.Traffic()
+		}
+		rep := model.AnalyzeMesh(net.Counters(), traffic, net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+		strategy, _ := mapping.ParseStrategy(sc.Partition)
 		points[i] = Fig3Point{
-			Mode:            p.mode,
-			NeuronsPerCore:  p.per,
-			Cores:           rep.CoresUsed,
-			TimeFor10k:      rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
-			PowerWatts:      rep.PowerWatts,
-			EnergyPerSample: rep.EnergyPerSampleJ,
+			Mode:                p.mode,
+			Chips:               p.chips,
+			Partition:           strategy.String(),
+			NeuronsPerCore:      p.per,
+			Cores:               rep.CoresUsed,
+			TimeFor10k:          rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
+			PowerWatts:          rep.PowerWatts,
+			EnergyPerSample:     rep.EnergyPerSampleJ,
+			MeshSpikes:          traffic.CrossDieSpikes,
+			MeshHops:            traffic.SpikeHops,
+			MeshEnergyPerSample: rep.MeshEnergyJ / float64(maxInt(sc.EnergySamples, 1)),
 		}
 		return nil
 	})
@@ -319,16 +373,39 @@ func Fig3(sc Scale, seed uint64) ([]Fig3Point, error) {
 	return points, nil
 }
 
-// PrintFig3 renders the sweep as the series plotted in Fig 3.
+// PrintFig3 renders the sweep as the series plotted in Fig 3, extended
+// with the die count and mesh traffic columns.
 func PrintFig3(w io.Writer, points []Fig3Point) {
 	fmt.Fprintln(w, "FIG 3: neurons/core trade-off (training, 10000 samples)")
-	fmt.Fprintf(w, "%-4s %-8s | %8s %12s %12s %18s\n",
-		"mode", "n/core", "cores", "time (s)", "power (W)", "energy (mJ/sample)")
-	fmt.Fprintln(w, "--------------+-----------------------------------------------------")
+	fmt.Fprintf(w, "%-4s %-5s %-8s | %8s %12s %12s %18s %12s %14s\n",
+		"mode", "dies", "n/core", "cores", "time (s)", "power (W)", "energy (mJ/sample)", "mesh spikes", "mesh (mJ/sam)")
+	fmt.Fprintln(w, "--------------------+---------------------------------------------------------------------------------")
 	for _, p := range points {
-		fmt.Fprintf(w, "%-4s %-8d | %8d %12.0f %12.3f %18.2f\n",
-			p.Mode, p.NeuronsPerCore, p.Cores, p.TimeFor10k, p.PowerWatts, p.EnergyPerSample*1e3)
+		fmt.Fprintf(w, "%-4s %-5d %-8d | %8d %12.0f %12.3f %18.2f %12d %14.3f\n",
+			p.Mode, p.Chips, p.NeuronsPerCore, p.Cores, p.TimeFor10k, p.PowerWatts,
+			p.EnergyPerSample*1e3, p.MeshSpikes, p.MeshEnergyPerSample*1e3)
 	}
+}
+
+// Fig3CSVHeader is the stable machine-readable schema of the Fig-3
+// grid. The golden-file test pins it: changing, reordering or removing
+// a column is a deliberate, test-visible act.
+const Fig3CSVHeader = "mode,chips,partition,neurons_per_core,cores,time_s_per_10k,power_w,energy_mj_per_sample,mesh_spikes,mesh_hops,mesh_energy_mj_per_sample"
+
+// WriteFig3CSV emits the sweep in the committed CSV schema.
+func WriteFig3CSV(w io.Writer, points []Fig3Point) error {
+	if _, err := fmt.Fprintln(w, Fig3CSVHeader); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%d,%.6g,%.6g,%.6g,%d,%d,%.6g\n",
+			p.Mode, p.Chips, p.Partition, p.NeuronsPerCore, p.Cores,
+			p.TimeFor10k, p.PowerWatts, p.EnergyPerSample*1e3,
+			p.MeshSpikes, p.MeshHops, p.MeshEnergyPerSample*1e3); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Fig4Result carries the incremental-online-learning series plus the

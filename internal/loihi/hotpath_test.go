@@ -50,7 +50,7 @@ func TestDeliveryKernelsBitIdentical(t *testing.T) {
 		dense.Step()
 		sparse.Step()
 		for pi := range dense.pops {
-			dp, sp := dense.pops[pi], sparse.pops[pi]
+			dp, sp := dense.pops[pi].p, sparse.pops[pi].p
 			for i := 0; i < dp.N; i++ {
 				if dp.Potential(i) != sp.Potential(i) {
 					t.Fatalf("step %d pop %s compartment %d: dense v=%d sparse v=%d",
@@ -72,7 +72,8 @@ func TestDeliveryKernelsBitIdentical(t *testing.T) {
 func TestActiveSpikesMatchesSpikes(t *testing.T) {
 	chip := buildStepBench(t)
 	check := func() {
-		for _, p := range chip.pops {
+		for _, e := range chip.pops {
+			p := e.p
 			act := p.ActiveSpikes()
 			j := 0
 			for i, s := range p.Spikes() {

@@ -71,12 +71,32 @@ func (c *Counters) Add(other Counters) {
 	c.HostTransactions += other.HostTransactions
 }
 
+// popEntry is one population registration on a die: the compartment
+// range [lo,hi) this chip hosts and the cores it landed on. A single-die
+// deployment registers every population with its full range; a mesh
+// partition may register contiguous slices of one population on several
+// dies.
+type popEntry struct {
+	p      *Population
+	lo, hi int
+	cores  []coreSlice
+}
+
+// connEntry is one connector registration on a die: the post-compartment
+// rows [lo,hi) whose synapses this chip stores. tracePre marks the one
+// shard per group that maintains the presynaptic trace.
+type connEntry struct {
+	g        Connector
+	lo, hi   int
+	tracePre bool
+}
+
 // Chip is one simulated processor die.
 type Chip struct {
 	HW HardwareConfig
 
-	pops   []*Population
-	groups []Connector
+	pops   []popEntry
+	groups []connEntry
 
 	// coreCompartments / coreSynapses track per-core occupancy for limit
 	// validation and the power model.
@@ -104,6 +124,20 @@ func New(hw HardwareConfig) *Chip {
 // Returns an error if any touched core would exceed its compartment
 // budget or the chip runs out of cores.
 func (c *Chip) AddPopulation(p *Population, firstCore, perCore int) error {
+	return c.AddPopulationRange(p, 0, p.N, firstCore, perCore)
+}
+
+// AddPopulationRange registers compartments [lo,hi) of a population on
+// this die — the mesh partitioner's entry point for populations split
+// across chips. The range lands perCore compartments per core starting
+// at firstCore. The chip only updates the compartments it hosts;
+// population state arrays stay whole (they model the neurons themselves,
+// which exist exactly once regardless of which die hosts them).
+func (c *Chip) AddPopulationRange(p *Population, lo, hi, firstCore, perCore int) error {
+	if lo < 0 || hi > p.N || lo >= hi {
+		return fmt.Errorf("loihi: population %q range [%d,%d) invalid for size %d",
+			p.Name, lo, hi, p.N)
+	}
 	if perCore <= 0 {
 		return fmt.Errorf("loihi: perCore must be positive, got %d", perCore)
 	}
@@ -111,13 +145,14 @@ func (c *Chip) AddPopulation(p *Population, firstCore, perCore int) error {
 		return fmt.Errorf("loihi: perCore %d exceeds compartments/core limit %d",
 			perCore, c.HW.MaxCompartmentsPerCore)
 	}
-	needed := (p.N + perCore - 1) / perCore
+	n := hi - lo
+	needed := (n + perCore - 1) / perCore
 	if firstCore < 0 || firstCore+needed > c.HW.NumCores {
 		return fmt.Errorf("loihi: population %q needs cores [%d,%d), chip has %d",
 			p.Name, firstCore, firstCore+needed, c.HW.NumCores)
 	}
-	p.cores = p.cores[:0]
-	remaining := p.N
+	entry := popEntry{p: p, lo: lo, hi: hi}
+	remaining := n
 	for i := 0; i < needed; i++ {
 		take := perCore
 		if take > remaining {
@@ -129,32 +164,54 @@ func (c *Chip) AddPopulation(p *Population, firstCore, perCore int) error {
 				core, c.coreCompartments[core], take, c.HW.MaxCompartmentsPerCore)
 		}
 		c.coreCompartments[core] += take
-		p.cores = append(p.cores, coreSlice{Core: core, Count: take})
+		entry.cores = append(entry.cores, coreSlice{Core: core, Count: take})
 		remaining -= take
 	}
-	c.pops = append(c.pops, p)
+	c.pops = append(c.pops, entry)
 	return nil
 }
 
-// Connect registers a connector. Synaptic memory is charged to the
-// destination population's cores (Loihi stores synapses at the
-// destination), and fan-in limits are validated per compartment.
+// Connect registers a connector with its full post range. Synaptic
+// memory is charged to the destination population's cores (Loihi stores
+// synapses at the destination), and fan-in limits are validated per
+// compartment.
 func (c *Chip) Connect(g Connector) error {
+	return c.connectRange(g, 0, g.PostPopulation().N, true, true)
+}
+
+// ConnectRange registers the shard of a connector whose post rows lie in
+// [lo,hi) — which must exactly match a range this chip hosts via
+// AddPopulationRange. chargeFanIn must be true on exactly one shard per
+// group (the fan-in budget is a per-compartment property of the whole
+// population); the presynaptic trace is maintained by the shard that
+// contains row 0.
+func (c *Chip) ConnectRange(g Connector, lo, hi int, chargeFanIn bool) error {
+	return c.connectRange(g, lo, hi, chargeFanIn, lo == 0)
+}
+
+func (c *Chip) connectRange(g Connector, lo, hi int, chargeFanIn, tracePre bool) error {
 	post := g.PostPopulation()
 	if post == nil {
 		return fmt.Errorf("loihi: group %q has no destination", g.GroupName())
 	}
-	fanIn := g.MaxFanIn()
-	if post.fanIn+fanIn > c.HW.MaxFanInPerCompartment {
-		return fmt.Errorf("loihi: group %q would give population %q fan-in %d > limit %d",
-			g.GroupName(), post.Name, post.fanIn+fanIn, c.HW.MaxFanInPerCompartment)
+	entry := c.findPopEntry(post, lo, hi)
+	if entry == nil {
+		return fmt.Errorf("loihi: group %q post range [%d,%d) of %q not hosted on this die",
+			g.GroupName(), lo, hi, post.Name)
 	}
-	post.fanIn += fanIn
+	fanIn := g.MaxFanIn()
+	if chargeFanIn {
+		if post.fanIn+fanIn > c.HW.MaxFanInPerCompartment {
+			return fmt.Errorf("loihi: group %q would give population %q fan-in %d > limit %d",
+				g.GroupName(), post.Name, post.fanIn+fanIn, c.HW.MaxFanInPerCompartment)
+		}
+		post.fanIn += fanIn
+	}
 	// Charge synaptic memory to destination cores proportionally to the
 	// compartments they host.
 	if post.N > 0 {
 		perCompartment := (g.Synapses() + post.N - 1) / post.N
-		for _, cs := range post.cores {
+		for _, cs := range entry.cores {
 			need := cs.Count * perCompartment
 			if c.coreSynapses[cs.Core]+need > c.HW.MaxSynapsesPerCore {
 				return fmt.Errorf("loihi: core %d synapse memory exceeded (%d+%d > %d)",
@@ -163,7 +220,22 @@ func (c *Chip) Connect(g Connector) error {
 			c.coreSynapses[cs.Core] += need
 		}
 	}
-	c.groups = append(c.groups, g)
+	if lo != 0 || hi != post.N {
+		g.prepareRange(lo, hi)
+	}
+	c.groups = append(c.groups, connEntry{g: g, lo: lo, hi: hi, tracePre: tracePre})
+	return nil
+}
+
+// findPopEntry returns this chip's registration of population p covering
+// exactly [lo,hi), or nil.
+func (c *Chip) findPopEntry(p *Population, lo, hi int) *popEntry {
+	for i := range c.pops {
+		e := &c.pops[i]
+		if e.p == p && e.lo == lo && e.hi == hi {
+			return e
+		}
+	}
 	return nil
 }
 
@@ -210,8 +282,8 @@ func (c *Chip) ResetCounters() { c.counters = Counters{} }
 // kernels are bit-identical by construction; this hook exists so the
 // equivalence tests can prove it end to end.
 func (c *Chip) SetDenseDelivery(v bool) {
-	for _, g := range c.groups {
-		g.setDense(v)
+	for _, e := range c.groups {
+		e.g.setDense(v)
 	}
 }
 
@@ -228,25 +300,53 @@ func (c *Chip) CountHostTransaction(n int) { c.counters.HostTransactions += int6
 //     spikes, and updates its activity trace;
 //  3. per-step learning micro-ops (tag accumulation) run;
 //  4. spike buffers rotate.
+//
+// The Mesh drives the same four sub-phases through stepDeliver /
+// stepUpdate / stepLearnMicro / stepAccount across several dies with a
+// global barrier between phases, rotating each shared population exactly
+// once — which is why the sub-phases are split out here.
 func (c *Chip) Step() {
-	for _, g := range c.groups {
-		c.counters.SynapticEvents += g.deliver()
+	c.stepDeliver()
+	c.stepUpdate()
+	c.stepLearnMicro()
+	for _, e := range c.pops {
+		e.p.rotate()
 	}
-	for _, p := range c.pops {
-		c.counters.Spikes += int64(p.update())
-		c.counters.CompartmentUpdates += int64(p.N)
-	}
-	for _, g := range c.groups {
-		g.stepLearning()
-	}
-	for _, p := range c.pops {
-		p.rotate()
-	}
-	c.counters.Steps++
-	c.counters.ActiveCoreSteps += int64(c.ActiveCores())
+	c.stepAccount()
 	if c.OnStep != nil {
 		c.OnStep()
 	}
+}
+
+// stepDeliver runs sub-phase 1 (synaptic accumulation) for the group
+// shards this die stores.
+func (c *Chip) stepDeliver() {
+	for _, e := range c.groups {
+		c.counters.SynapticEvents += e.g.deliverRange(e.lo, e.hi, e.tracePre)
+	}
+}
+
+// stepUpdate runs sub-phase 2 (compartment dynamics) for the compartment
+// ranges this die hosts.
+func (c *Chip) stepUpdate() {
+	for _, e := range c.pops {
+		c.counters.Spikes += int64(e.p.updateRange(e.lo, e.hi))
+		c.counters.CompartmentUpdates += int64(e.hi - e.lo)
+	}
+}
+
+// stepLearnMicro runs sub-phase 3 (per-step learning micro-ops) for the
+// group shards this die stores.
+func (c *Chip) stepLearnMicro() {
+	for _, e := range c.groups {
+		e.g.stepLearningRange(e.lo, e.hi)
+	}
+}
+
+// stepAccount closes the timestep's bookkeeping on this die.
+func (c *Chip) stepAccount() {
+	c.counters.Steps++
+	c.counters.ActiveCoreSteps += int64(c.ActiveCores())
 }
 
 // Run advances n timesteps.
@@ -260,8 +360,8 @@ func (c *Chip) Run(n int) {
 // its weight update from the current trace state (end of phase 2 in the
 // EMSTDP schedule).
 func (c *Chip) ApplyLearning() {
-	for _, g := range c.groups {
-		c.counters.LearningOps += g.applyEpoch()
+	for _, e := range c.groups {
+		c.counters.LearningOps += e.g.applyEpochRange(e.lo, e.hi)
 	}
 }
 
@@ -269,11 +369,11 @@ func (c *Chip) ApplyLearning() {
 // populations but keeps tags — called at the phase-1→2 boundary so traces
 // hold phase-2 counts while tags span both phases.
 func (c *Chip) ResetPhaseTraces() {
-	for _, g := range c.groups {
-		g.resetPhaseTraces()
+	for _, e := range c.groups {
+		e.g.resetPhaseTraces()
 	}
-	for _, p := range c.pops {
-		p.resetPostTrace()
+	for _, e := range c.pops {
+		e.p.resetPostTrace()
 	}
 }
 
@@ -285,8 +385,8 @@ func (c *Chip) ResetPhaseTraces() {
 // h for nearly every active neuron, which compounds across samples into
 // runaway potentiation.
 func (c *Chip) ResetMembranes() {
-	for _, p := range c.pops {
-		p.resetDynamics()
+	for _, e := range c.pops {
+		e.p.resetDynamics()
 	}
 }
 
@@ -294,11 +394,11 @@ func (c *Chip) ResetMembranes() {
 // and activity counters on every population and group (the paper's
 // per-sample "Reset network state"). Synaptic weights persist.
 func (c *Chip) ResetState() {
-	for _, p := range c.pops {
-		p.reset()
+	for _, e := range c.pops {
+		e.p.reset()
 	}
-	for _, g := range c.groups {
-		g.reset()
+	for _, e := range c.groups {
+		e.g.reset()
 	}
 }
 
@@ -306,7 +406,7 @@ func (c *Chip) ResetState() {
 // its gate mask (end of phase 1: the aux compartment has integrated the
 // forward neuron's phase-1 activity).
 func (c *Chip) LatchGates() {
-	for _, p := range c.pops {
-		p.latchGate()
+	for _, e := range c.pops {
+		e.p.latchGate()
 	}
 }

@@ -1,0 +1,426 @@
+package loihi
+
+import "fmt"
+
+// Mesh is a board of several simulated dies stepping in lock-step with
+// an inter-chip spike fabric — the substrate for population-level
+// sharding of one netlist across chips (the multi-chip Loihi systems,
+// Nahuku/Pohoiki-style, that the paper's single-die mapping study stops
+// short of).
+//
+// Execution model: the mesh advances all dies through the same four
+// sub-phases a single Chip.Step runs — deliver, update, learning
+// micro-ops, rotate — with a global barrier between phases, so a synapse
+// shard on die B reads exactly the previous-step spikes of its
+// presynaptic population on die A (the one-step axon delay holds across
+// the fabric; inter-die hops are modelled as energy/traffic, not extra
+// latency — the barrier sync already dominates the step time). Because
+// every inner loop is a range-partition of the corresponding single-die
+// loop, in the same order, a mesh deployment is bit-identical to the
+// same netlist on one large die: weights, spike counts, predictions and
+// the aggregated activity counters all match exactly.
+//
+// Traffic model: dies sit on a 1-D board; a spike whose source neuron
+// lives on die s and whose fan-out reaches synapses on die d != s is one
+// cross-die message multicast per destination die, costing |s-d| hops.
+// Messages and hops accumulate in MeshTraffic for the energy model.
+type Mesh struct {
+	chips []*Chip
+
+	pops     []*meshPop
+	groups   []*meshGroup
+	popIndex map[*Population]*meshPop
+
+	traffic MeshTraffic
+
+	// OnStep, when non-nil, runs at the end of every mesh step — the
+	// multi-die analogue of Chip.OnStep.
+	OnStep func()
+}
+
+// MeshTraffic counts the inter-die spike fabric's activity.
+type MeshTraffic struct {
+	// CrossDieSpikes is the number of spike messages that left their
+	// source die (one message per destination die that stores synapses
+	// of the spiking neuron, multicast within a die).
+	CrossDieSpikes int64
+	// SpikeHops is the total hop count: Σ over cross-die messages of the
+	// 1-D die distance |source - destination|.
+	SpikeHops int64
+}
+
+// Add accumulates other into t.
+func (t *MeshTraffic) Add(other MeshTraffic) {
+	t.CrossDieSpikes += other.CrossDieSpikes
+	t.SpikeHops += other.SpikeHops
+}
+
+// popShard records one die's slice of a population.
+type popShard struct {
+	Die    int
+	Lo, Hi int
+}
+
+type meshPop struct {
+	p      *Population
+	shards []popShard
+	// uniformDie is the single home die when the population is unsplit,
+	// else -1 (dieOf then maps each neuron to its die).
+	uniformDie int
+	dieOf      []int16
+	covered    bool
+	// subDies lists the dies storing synapse shards fed by this
+	// population — the candidate multicast destinations of its spikes —
+	// and reach[die][k] records whether neuron k's fan-out actually
+	// places a synapse on that die (all-to-all groups reach every
+	// shard; sparse groups only where their adjacency lands). A spike
+	// is one cross-die message per reached remote die.
+	subDies []int
+	reach   [][]bool // indexed [die][neuron]; nil until die subscribes
+}
+
+type connShard struct {
+	Die    int
+	Lo, Hi int
+}
+
+type meshGroup struct {
+	g      Connector
+	shards []connShard
+}
+
+// NewMesh builds a board of `dies` empty chips with identical hardware
+// limits.
+func NewMesh(hw HardwareConfig, dies int) *Mesh {
+	if dies < 1 {
+		panic(fmt.Sprintf("loihi: mesh needs at least one die, got %d", dies))
+	}
+	m := &Mesh{popIndex: map[*Population]*meshPop{}}
+	for i := 0; i < dies; i++ {
+		m.chips = append(m.chips, New(hw))
+	}
+	return m
+}
+
+// NumDies returns the number of chips on the board.
+func (m *Mesh) NumDies() int { return len(m.chips) }
+
+// Die returns chip i (per-die counters, occupancy).
+func (m *Mesh) Die(i int) *Chip { return m.chips[i] }
+
+// AddPopulation registers compartments [lo,hi) of p on the given die.
+// Shards of one population may arrive in any order across any dies;
+// together they must tile [0,N) exactly before the population can be
+// connected or stepped.
+func (m *Mesh) AddPopulation(p *Population, die, lo, hi, firstCore, perCore int) error {
+	if die < 0 || die >= len(m.chips) {
+		return fmt.Errorf("loihi: die %d out of range [0,%d)", die, len(m.chips))
+	}
+	if err := m.chips[die].AddPopulationRange(p, lo, hi, firstCore, perCore); err != nil {
+		return err
+	}
+	mp := m.popIndex[p]
+	if mp == nil {
+		mp = &meshPop{p: p, uniformDie: -1}
+		m.popIndex[p] = mp
+		m.pops = append(m.pops, mp)
+	}
+	mp.shards = append(mp.shards, popShard{Die: die, Lo: lo, Hi: hi})
+	mp.finalize()
+	return nil
+}
+
+// sortShardsByLo returns a copy of shards in ascending range order —
+// the order that both coverage checking and the learning epoch's
+// RNG-stream argument rely on.
+func sortShardsByLo(shards []popShard) []popShard {
+	sorted := append([]popShard(nil), shards...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Lo < sorted[j-1].Lo; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted
+}
+
+// finalize recomputes the coverage flag and the neuron→die map after a
+// shard registration.
+func (mp *meshPop) finalize() {
+	// Shards must tile [0,N): sort a copy by Lo and walk it.
+	sorted := sortShardsByLo(mp.shards)
+	next := 0
+	for _, s := range sorted {
+		if s.Lo != next {
+			mp.covered = false
+			return
+		}
+		next = s.Hi
+	}
+	mp.covered = next == mp.p.N
+	if !mp.covered {
+		return
+	}
+	if len(mp.shards) == 1 {
+		mp.uniformDie = mp.shards[0].Die
+		mp.dieOf = nil
+		return
+	}
+	mp.uniformDie = -1
+	mp.dieOf = make([]int16, mp.p.N)
+	for _, s := range sorted {
+		for i := s.Lo; i < s.Hi; i++ {
+			mp.dieOf[i] = int16(s.Die)
+		}
+	}
+}
+
+// subscribe records that group shard [lo,hi) on the given die consumes
+// mp's spikes, marking exactly the neurons whose fan-out reaches it.
+func (mp *meshPop) subscribe(die, dies int, g Connector, lo, hi int) {
+	if mp.reach == nil {
+		mp.reach = make([][]bool, dies)
+	}
+	if mp.reach[die] == nil {
+		mp.reach[die] = make([]bool, mp.p.N)
+		mp.subDies = append(mp.subDies, die)
+	}
+	r := mp.reach[die]
+	switch sg := g.(type) {
+	case *SparseGroup:
+		for k, outs := range sg.fanOut {
+			if r[k] {
+				continue
+			}
+			for _, syn := range outs {
+				if syn.Post >= lo && syn.Post < hi {
+					r[k] = true
+					break
+				}
+			}
+		}
+	default:
+		// Dense all-to-all (and any unknown connector, conservatively):
+		// every presynaptic neuron reaches every post shard.
+		for k := range r {
+			r[k] = true
+		}
+	}
+}
+
+// Connect shards a connector across the dies hosting its post
+// population (Loihi stores synapses at the destination) and registers
+// the pre population's spikes for mesh routing. Both endpoints must be
+// fully registered first.
+func (m *Mesh) Connect(g Connector) error {
+	post, pre := g.PostPopulation(), g.PrePopulation()
+	if post == nil {
+		return fmt.Errorf("loihi: group %q has no destination", g.GroupName())
+	}
+	mpPost := m.popIndex[post]
+	if mpPost == nil || !mpPost.covered {
+		return fmt.Errorf("loihi: group %q destination %q not fully registered on the mesh",
+			g.GroupName(), post.Name)
+	}
+	mpPre := m.popIndex[pre]
+	if mpPre == nil || !mpPre.covered {
+		return fmt.Errorf("loihi: group %q source %q not fully registered on the mesh",
+			g.GroupName(), pre.Name)
+	}
+	// Shards in ascending row order: the learning epoch walks them in
+	// this order to preserve the per-group stochastic-rounding stream.
+	sorted := sortShardsByLo(mpPost.shards)
+	mg := &meshGroup{g: g}
+	for i, s := range sorted {
+		if err := m.chips[s.Die].ConnectRange(g, s.Lo, s.Hi, i == 0); err != nil {
+			return err
+		}
+		mg.shards = append(mg.shards, connShard{Die: s.Die, Lo: s.Lo, Hi: s.Hi})
+		mpPre.subscribe(s.Die, len(m.chips), g, s.Lo, s.Hi)
+	}
+	m.groups = append(m.groups, mg)
+	return nil
+}
+
+// Step advances the whole board one barrier-synchronised timestep: the
+// four sub-phases of Chip.Step, each completing on every die before the
+// next begins, with every shared population's spike buffers rotated
+// exactly once.
+func (m *Mesh) Step() {
+	m.accountTraffic()
+	for _, c := range m.chips {
+		c.stepDeliver()
+	}
+	for _, c := range m.chips {
+		c.stepUpdate()
+	}
+	for _, c := range m.chips {
+		c.stepLearnMicro()
+	}
+	for _, mp := range m.pops {
+		mp.p.rotate()
+	}
+	for _, c := range m.chips {
+		c.stepAccount()
+	}
+	if m.OnStep != nil {
+		m.OnStep()
+	}
+}
+
+// accountTraffic counts the cross-die messages of the spikes about to be
+// delivered this step (the previous step's spike buffers): for each
+// spike, one message per remote die that its fan-out actually reaches.
+func (m *Mesh) accountTraffic() {
+	if len(m.chips) == 1 {
+		return
+	}
+	for _, mp := range m.pops {
+		if len(mp.subDies) == 0 {
+			continue
+		}
+		active := mp.p.ActiveSpikes()
+		if len(active) == 0 {
+			continue
+		}
+		uniform := mp.uniformDie
+		for _, k := range active {
+			src := uniform
+			if src < 0 {
+				src = int(mp.dieOf[k])
+			}
+			for _, d := range mp.subDies {
+				if d != src && mp.reach[d][k] {
+					m.traffic.CrossDieSpikes++
+					m.traffic.SpikeHops += absInt64(int64(d - src))
+				}
+			}
+		}
+	}
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Run advances n timesteps.
+func (m *Mesh) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// ApplyLearning fires the learning epoch across the board. Groups are
+// visited in connect order and each group's shards in ascending row
+// order, so the group's stochastic-rounding stream advances exactly as
+// on a single die; learning-op counters accrue on the die storing each
+// shard.
+func (m *Mesh) ApplyLearning() {
+	for _, mg := range m.groups {
+		for _, s := range mg.shards {
+			m.chips[s.Die].counters.LearningOps += mg.g.applyEpochRange(s.Lo, s.Hi)
+		}
+	}
+}
+
+// ResetPhaseTraces zeroes pre/post traces (phase boundary), once per
+// shared object.
+func (m *Mesh) ResetPhaseTraces() {
+	for _, mg := range m.groups {
+		mg.g.resetPhaseTraces()
+	}
+	for _, mp := range m.pops {
+		mp.p.resetPostTrace()
+	}
+}
+
+// ResetMembranes zeroes membrane/current/accumulator state and spike
+// buffers (phase boundary), once per shared population.
+func (m *Mesh) ResetMembranes() {
+	for _, mp := range m.pops {
+		mp.p.resetDynamics()
+	}
+}
+
+// ResetState zeroes all dynamic state (sample boundary), once per shared
+// object. Weights persist.
+func (m *Mesh) ResetState() {
+	for _, mp := range m.pops {
+		mp.p.reset()
+	}
+	for _, mg := range m.groups {
+		mg.g.reset()
+	}
+}
+
+// LatchGates snapshots gated populations' aux activity (end of phase 1).
+func (m *Mesh) LatchGates() {
+	for _, mp := range m.pops {
+		mp.p.latchGate()
+	}
+}
+
+// SetDenseDelivery forwards the equivalence-test hook to every group.
+func (m *Mesh) SetDenseDelivery(v bool) {
+	for _, mg := range m.groups {
+		mg.g.setDense(v)
+	}
+}
+
+// CountHostTransaction records a host↔board interaction. The host talks
+// to the board through die 0 (the x86 bridge sits on one chip), so the
+// transaction lands there — and the aggregate equals the single-die
+// count.
+func (m *Mesh) CountHostTransaction(n int) { m.chips[0].CountHostTransaction(n) }
+
+// DieCounters returns die i's activity counters.
+func (m *Mesh) DieCounters(i int) Counters { return m.chips[i].Counters() }
+
+// Counters returns the board-level aggregate: the deterministic
+// reduction (die order) of every per-die counter. Steps is lock-step
+// identical on every die, so the aggregate reports the common value
+// rather than the sum — with that convention the aggregate of a
+// partitioned run equals the counters of the same netlist on one large
+// die, exactly.
+func (m *Mesh) Counters() Counters {
+	var agg Counters
+	for _, c := range m.chips {
+		agg.Add(c.Counters())
+	}
+	agg.Steps = m.chips[0].Counters().Steps
+	return agg
+}
+
+// ResetCounters zeroes every die's counters and the mesh traffic
+// counters (energy harnesses bracket measured regions this way).
+func (m *Mesh) ResetCounters() {
+	for _, c := range m.chips {
+		c.ResetCounters()
+	}
+	m.traffic = MeshTraffic{}
+}
+
+// Traffic returns the accumulated inter-die traffic counters.
+func (m *Mesh) Traffic() MeshTraffic { return m.traffic }
+
+// ActiveCores returns the number of powered-on cores across all dies.
+func (m *Mesh) ActiveCores() int {
+	n := 0
+	for _, c := range m.chips {
+		n += c.ActiveCores()
+	}
+	return n
+}
+
+// MaxCompartmentsOnACore returns the busiest core on any die.
+func (m *Mesh) MaxCompartmentsOnACore() int {
+	mx := 0
+	for _, c := range m.chips {
+		if v := c.MaxCompartmentsOnACore(); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

@@ -100,7 +100,6 @@ type Population struct {
 	phaseGate *Population
 
 	fanIn int
-	cores []coreSlice
 }
 
 // NewPopulation builds a population from a config.
@@ -230,13 +229,19 @@ func (p *Population) InjectSpikes(spikes []bool) int {
 
 // update advances compartment dynamics one step and returns the number of
 // spikes emitted.
-func (p *Population) update() int {
+func (p *Population) update() int { return p.updateRange(0, p.N) }
+
+// updateRange advances compartments [lo,hi) only — the slice of the
+// population a die hosts under a multi-chip partition. Compartment
+// dynamics are strictly per-neuron, so range-partitioned updates compose
+// to exactly the full update regardless of how [0,N) is cut.
+func (p *Population) updateRange(lo, hi int) int {
 	if p.cfg.Source {
 		// Host-injected spikes pass straight through; they were staged
 		// by InjectSpikes into spikesNow.
 		n := 0
-		for i, s := range p.spikesNow {
-			if s {
+		for i := lo; i < hi; i++ {
+			if p.spikesNow[i] {
 				n++
 				p.postTrace[i] = fixed.SatTrace(int64(p.postTrace[i]) + 1)
 			}
@@ -244,7 +249,7 @@ func (p *Population) update() int {
 		return n
 	}
 	spikes := 0
-	for i := 0; i < p.N; i++ {
+	for i := lo; i < hi; i++ {
 		drive := p.acc[i]
 		p.acc[i] = 0
 		if p.disabled != nil && p.disabled[i] {
@@ -300,10 +305,13 @@ func (p *Population) update() int {
 		}
 	}
 	// Aux compartments integrate their source's current spikes
-	// (event-driven: only the firing partners are touched).
+	// (event-driven: only the firing partners are touched; range-limited
+	// so die-partitioned updates never double-count a partner).
 	if p.auxSrc != nil {
 		for _, i := range p.auxSrc.activePrev.Indices() {
-			p.auxActivity[i]++
+			if int(i) >= lo && int(i) < hi {
+				p.auxActivity[i]++
+			}
 		}
 	}
 	return spikes

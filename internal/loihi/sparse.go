@@ -8,10 +8,24 @@ import "emstdp/internal/fixed"
 type Connector interface {
 	// deliver routes last step's pre spikes, returning synaptic events.
 	deliver() int64
+	// deliverRange delivers into post compartments [lo,hi) only — a
+	// multi-die shard of the group. tracePre guards the presynaptic
+	// trace so exactly one shard maintains it per step.
+	deliverRange(lo, hi int, tracePre bool) int64
 	// stepLearning runs per-step learning micro-ops.
 	stepLearning()
+	// stepLearningRange runs the micro-ops for post rows [lo,hi).
+	stepLearningRange(lo, hi int)
 	// applyEpoch applies the learning rule, returning ops performed.
 	applyEpoch() int64
+	// applyEpochRange applies the rule to post rows [lo,hi); shards must
+	// be visited in ascending row order to preserve the RNG stream.
+	applyEpochRange(lo, hi int) int64
+	// prepareRange lets a connector pre-index the synapses of a post-row
+	// shard [lo,hi) before stepping begins (called at mesh registration;
+	// full-range registration skips it). The connector must be fully
+	// built — sparse groups must not gain synapses afterwards.
+	prepareRange(lo, hi int)
 	// resetPhaseTraces clears pre traces at the phase boundary.
 	resetPhaseTraces()
 	// reset clears all learning state at the sample boundary.
@@ -22,6 +36,8 @@ type Connector interface {
 
 	// GroupName identifies the group in errors and reports.
 	GroupName() string
+	// PrePopulation is the spike source (mesh traffic originates there).
+	PrePopulation() *Population
 	// PostPopulation is the destination (synapses live at its cores).
 	PostPopulation() *Population
 	// Synapses is the stored synapse count (for core memory accounting).
@@ -34,6 +50,13 @@ type Connector interface {
 
 // GroupName returns the group's name.
 func (g *SynapseGroup) GroupName() string { return g.Name }
+
+// prepareRange is a no-op: the dense group's transposed view already
+// serves any column slice.
+func (g *SynapseGroup) prepareRange(lo, hi int) {}
+
+// PrePopulation returns the spike source population.
+func (g *SynapseGroup) PrePopulation() *Population { return g.Pre }
 
 // PostPopulation returns the destination population.
 func (g *SynapseGroup) PostPopulation() *Population { return g.Post }
@@ -62,9 +85,21 @@ type SparseGroup struct {
 	// fanOut[k] lists pre neuron k's outgoing synapses.
 	fanOut [][]SparseSynapse
 
+	// shardIdx caches per-registered-shard fan-out lists (built by
+	// prepareRange at mesh registration) so range delivery walks only
+	// the shard's own synapses instead of filtering the full adjacency
+	// on every die each step.
+	shardIdx []sparseShard
+
 	synapses int
 	maxFanIn int
 	dense    bool
+}
+
+// sparseShard is the pre-bucketed adjacency of post rows [lo,hi).
+type sparseShard struct {
+	lo, hi int
+	fanOut [][]SparseSynapse
 }
 
 // NewSparseGroup builds an empty sparse group.
@@ -113,13 +148,42 @@ func (g *SparseGroup) finalizeFanIn() {
 
 // deliver routes spikes through the adjacency lists, iterating the
 // presynaptic active-index list instead of scanning the dense vector.
-func (g *SparseGroup) deliver() int64 {
+func (g *SparseGroup) deliver() int64 { return g.deliverRange(0, g.Post.N, true) }
+
+// deliverRange delivers the synapses whose post compartment lies in
+// [lo,hi) — a multi-die shard. Per post neuron the contribution sequence
+// (ascending pre index, insertion order within a pre fan-out list) is
+// the same as the full kernel, so sharded delivery is bit-identical.
+// Sparse groups carry no pre trace; tracePre is accepted for the
+// Connector contract.
+func (g *SparseGroup) deliverRange(lo, hi int, _ bool) int64 {
 	if g.dense {
-		return g.deliverDense()
+		return g.deliverDenseRange(lo, hi)
+	}
+	fanOut := g.fanOut
+	if !(lo == 0 && hi == g.Post.N) {
+		if idx := g.shardFanOut(lo, hi); idx != nil {
+			// Pre-bucketed shard adjacency: walk only this shard's
+			// synapses (same per-pre insertion order as the full list,
+			// so accumulation stays bit-identical).
+			fanOut = idx
+		} else {
+			// Unprepared range: filter the full adjacency.
+			var events int64
+			for _, k := range g.Pre.ActiveSpikes() {
+				for _, syn := range g.fanOut[k] {
+					if syn.Post >= lo && syn.Post < hi {
+						g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+						events++
+					}
+				}
+			}
+			return events
+		}
 	}
 	var events int64
 	for _, k := range g.Pre.ActiveSpikes() {
-		outs := g.fanOut[k]
+		outs := fanOut[k]
 		for _, syn := range outs {
 			g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
 		}
@@ -128,19 +192,50 @@ func (g *SparseGroup) deliver() int64 {
 	return events
 }
 
-// deliverDense is the reference dense-scan kernel, kept for the
+// prepareRange pre-buckets the adjacency of post rows [lo,hi) (mesh
+// registration hook; idempotent per range).
+func (g *SparseGroup) prepareRange(lo, hi int) {
+	if lo == 0 && hi == g.Post.N {
+		return
+	}
+	if g.shardFanOut(lo, hi) != nil {
+		return
+	}
+	fo := make([][]SparseSynapse, len(g.fanOut))
+	for k, outs := range g.fanOut {
+		for _, syn := range outs {
+			if syn.Post >= lo && syn.Post < hi {
+				fo[k] = append(fo[k], syn)
+			}
+		}
+	}
+	g.shardIdx = append(g.shardIdx, sparseShard{lo: lo, hi: hi, fanOut: fo})
+}
+
+// shardFanOut returns the bucketed adjacency of [lo,hi), or nil.
+func (g *SparseGroup) shardFanOut(lo, hi int) [][]SparseSynapse {
+	for i := range g.shardIdx {
+		if s := &g.shardIdx[i]; s.lo == lo && s.hi == hi {
+			return s.fanOut
+		}
+	}
+	return nil
+}
+
+// deliverDenseRange is the reference dense-scan kernel, kept for the
 // equivalence tests.
-func (g *SparseGroup) deliverDense() int64 {
+func (g *SparseGroup) deliverDenseRange(lo, hi int) int64 {
 	var events int64
 	for k, s := range g.Pre.Spikes() {
 		if !s {
 			continue
 		}
-		outs := g.fanOut[k]
-		for _, syn := range outs {
-			g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+		for _, syn := range g.fanOut[k] {
+			if syn.Post >= lo && syn.Post < hi {
+				g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+				events++
+			}
 		}
-		events += int64(len(outs))
 	}
 	return events
 }
@@ -151,8 +246,14 @@ func (g *SparseGroup) setDense(v bool) { g.dense = v }
 // stepLearning is a no-op: sparse groups are fixed.
 func (g *SparseGroup) stepLearning() {}
 
+// stepLearningRange is a no-op: sparse groups are fixed.
+func (g *SparseGroup) stepLearningRange(lo, hi int) {}
+
 // applyEpoch is a no-op: sparse groups are fixed.
 func (g *SparseGroup) applyEpoch() int64 { return 0 }
+
+// applyEpochRange is a no-op: sparse groups are fixed.
+func (g *SparseGroup) applyEpochRange(lo, hi int) int64 { return 0 }
 
 // resetPhaseTraces is a no-op.
 func (g *SparseGroup) resetPhaseTraces() {}
@@ -162,6 +263,9 @@ func (g *SparseGroup) reset() {}
 
 // GroupName returns the group's name.
 func (g *SparseGroup) GroupName() string { return g.Name }
+
+// PrePopulation returns the spike source population.
+func (g *SparseGroup) PrePopulation() *Population { return g.Pre }
 
 // PostPopulation returns the destination population.
 func (g *SparseGroup) PostPopulation() *Population { return g.Post }

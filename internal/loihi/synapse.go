@@ -151,9 +151,18 @@ func (g *SynapseGroup) WeightFloat(o, k int, scale float64) float64 {
 // SynapticEvents it counts, like the chip. Membrane accumulation is
 // saturating-integer in the same order as the dense reference (ascending
 // presynaptic index per post neuron), so results are bit-identical.
-func (g *SynapseGroup) deliver() int64 {
+func (g *SynapseGroup) deliver() int64 { return g.deliverRange(0, g.Post.N, true) }
+
+// deliverRange delivers into post compartments [lo,hi) only — the shard
+// of the group a die hosts when the post population is range-partitioned
+// (Loihi stores synapses at the destination, so a split post population
+// splits the group's rows with it). tracePre guards the presynaptic
+// trace update so exactly one shard per group maintains it. Per post
+// neuron the contribution order (ascending presynaptic index) is the
+// same as the full kernel, so sharded delivery is bit-identical.
+func (g *SynapseGroup) deliverRange(lo, hi int, tracePre bool) int64 {
 	if g.dense {
-		return g.deliverDense()
+		return g.deliverDenseRange(lo, hi, tracePre)
 	}
 	active := g.Pre.ActiveSpikes()
 	if len(active) == 0 {
@@ -161,53 +170,75 @@ func (g *SynapseGroup) deliver() int64 {
 	}
 	g.ensureTransposed()
 	postN := g.Post.N
+	if lo == 0 && hi == postN {
+		// Full-range fast path (the single-die hot loop): no per-synapse
+		// index offset.
+		var events int64
+		for _, k := range active {
+			if tracePre && g.preTrace != nil {
+				g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
+			}
+			col := g.wt[int(k)*postN : (int(k)+1)*postN]
+			for o, w := range col {
+				if w != 0 {
+					g.Post.addInput(o, int32(w)<<g.Exp)
+				}
+			}
+			events += int64(postN)
+		}
+		return events
+	}
+	span := int64(hi - lo)
 	var events int64
 	for _, k := range active {
-		if g.preTrace != nil {
+		if tracePre && g.preTrace != nil {
 			g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
 		}
-		col := g.wt[int(k)*postN : (int(k)+1)*postN]
+		col := g.wt[int(k)*postN+lo : int(k)*postN+hi]
 		for o, w := range col {
 			if w != 0 {
-				g.Post.addInput(o, int32(w)<<g.Exp)
+				g.Post.addInput(lo+o, int32(w)<<g.Exp)
 			}
 		}
-		events += int64(postN)
+		events += span
 	}
 	return events
 }
 
-// deliverDense is the reference row-strided kernel, kept for the
+// deliverDenseRange is the reference row-strided kernel, kept for the
 // dense/sparse equivalence tests.
-func (g *SynapseGroup) deliverDense() int64 {
+func (g *SynapseGroup) deliverDenseRange(lo, hi int, tracePre bool) int64 {
 	var events int64
 	preN := g.Pre.N
 	for k, s := range g.Pre.Spikes() {
 		if !s {
 			continue
 		}
-		if g.preTrace != nil {
+		if tracePre && g.preTrace != nil {
 			g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
 		}
-		for o := 0; o < g.Post.N; o++ {
+		for o := lo; o < hi; o++ {
 			w := g.W[o*preN+k]
 			if w != 0 {
 				g.Post.addInput(o, int32(w)<<g.Exp)
 			}
 		}
-		events += int64(g.Post.N)
+		events += int64(hi - lo)
 	}
 	return events
 }
 
 // stepLearning runs per-step learning micro-ops: the tag accumulation
 // rule dt = y0 (one increment per postsynaptic spike, both phases).
-func (g *SynapseGroup) stepLearning() {
+func (g *SynapseGroup) stepLearning() { g.stepLearningRange(0, g.Post.N) }
+
+// stepLearningRange runs the tag micro-op for post rows [lo,hi).
+func (g *SynapseGroup) stepLearningRange(lo, hi int) {
 	if g.Rule == nil || !g.Rule.TagCountsPostSpikes {
 		return
 	}
-	for o, s := range g.Post.spikesNow {
-		if s {
+	for o := lo; o < hi; o++ {
+		if g.Post.spikesNow[o] {
 			g.tag[o]++
 		}
 	}
@@ -215,12 +246,18 @@ func (g *SynapseGroup) stepLearning() {
 
 // applyEpoch applies the weight update rule over all synapses, returning
 // the number of learning operations performed.
-func (g *SynapseGroup) applyEpoch() int64 {
+func (g *SynapseGroup) applyEpoch() int64 { return g.applyEpochRange(0, g.Post.N) }
+
+// applyEpochRange applies the rule to post rows [lo,hi). The
+// stochastic-rounding bits come from the group's single lrnRNG stream in
+// row order, so a multi-die learning epoch that walks a group's shards
+// in ascending row order draws exactly the single-die bit sequence.
+func (g *SynapseGroup) applyEpochRange(lo, hi int) int64 {
 	if g.Rule == nil {
 		return 0
 	}
 	preN := g.Pre.N
-	for o := 0; o < g.Post.N; o++ {
+	for o := lo; o < hi; o++ {
 		if g.Rule.FrozenPost != nil && g.Rule.FrozenPost[o] {
 			continue
 		}
@@ -249,7 +286,7 @@ func (g *SynapseGroup) applyEpoch() int64 {
 	// Weights changed in place: invalidate the transposed delivery view
 	// (once per learning epoch — per sample — not per step).
 	g.MarkWeightsDirty()
-	return int64(g.Post.N * preN)
+	return int64((hi - lo) * preN)
 }
 
 // LearnState is a snapshot of the learning-engine inputs of one plastic

@@ -1,0 +1,310 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"emstdp/internal/loihi"
+)
+
+// This file generalises the single-die core mapping (Operation Flow 1,
+// mapping.Map) to a board of several dies: a Partition assigns each
+// population of a netlist to one or more chips, whole when it fits and
+// as contiguous per-core-aligned neuron ranges when it must (or when the
+// strategy deliberately spreads it). The partitioner is an online
+// algorithm — populations arrive one at a time in netlist build order —
+// and is fully deterministic: the same sequence of Assign calls always
+// yields the same placement, which is what lets a replica rebuild the
+// identical sharded netlist from the configuration alone.
+
+// Strategy selects how populations are spread over dies.
+type Strategy int
+
+const (
+	// StrategyPopulation keeps each population whole on a single die,
+	// chosen least-loaded-first (fewest occupied cores, ties to the
+	// lowest die index); a population larger than the remaining space of
+	// any single die spills across dies in contiguous ranges. Minimises
+	// cross-die traffic at the cost of balance.
+	StrategyPopulation Strategy = iota
+	// StrategyRange splits every population into contiguous
+	// per-core-aligned ranges spread across all dies (die i takes the
+	// i-th chunk). Maximises balance — every die hosts a slice of every
+	// layer — at the cost of mesh traffic.
+	StrategyRange
+)
+
+// String names the strategy for reports and CSV columns.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPopulation:
+		return "population"
+	case StrategyRange:
+		return "range"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a strategy name (CLI flags, options wiring).
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "population", "pop":
+		return StrategyPopulation, nil
+	case "range", "split":
+		return StrategyRange, nil
+	}
+	return 0, fmt.Errorf("mapping: unknown partition strategy %q (want population or range)", name)
+}
+
+// Shard is one die's contiguous slice of a population.
+type Shard struct {
+	Die    int
+	Lo, Hi int // neuron range [Lo,Hi)
+	// FirstCore / Cores locate the shard on its die; PerCore is the
+	// packing (the last core of a shard may be partially filled).
+	FirstCore, Cores, PerCore int
+}
+
+// PopPlacement records where one population landed.
+type PopPlacement struct {
+	Name string
+	N    int
+	// PerCore is the constraint-clamped packing actually used.
+	PerCore int
+	// FanIn is the per-neuron synaptic fan-in the caller declared (0 =
+	// unknown; synaptic-memory clamping is then skipped, and validation
+	// happens at connect time like the single-die path).
+	FanIn  int
+	Shards []Shard
+}
+
+// Partition is a deterministic multi-die placement under per-core
+// compartment/synapse/fan-in capacity constraints.
+type Partition struct {
+	HW       loihi.HardwareConfig
+	Dies     int
+	Strategy Strategy
+	Pops     []PopPlacement
+
+	// nextCore is the per-die allocation cursor (cores are handed out
+	// contiguously per die, like the single-die mapper).
+	nextCore []int
+}
+
+// NewPartition builds an empty partition over `dies` chips with the
+// given per-die hardware limits.
+func NewPartition(hw loihi.HardwareConfig, dies int, strategy Strategy) (*Partition, error) {
+	if dies < 1 {
+		return nil, fmt.Errorf("mapping: partition needs at least one die, got %d", dies)
+	}
+	if strategy != StrategyPopulation && strategy != StrategyRange {
+		return nil, fmt.Errorf("mapping: unknown strategy %v", strategy)
+	}
+	return &Partition{HW: hw, Dies: dies, Strategy: strategy, nextCore: make([]int, dies)}, nil
+}
+
+// CoresUsed returns the occupied core count of one die.
+func (pt *Partition) CoresUsed(die int) int { return pt.nextCore[die] }
+
+// TotalCores returns the occupied core count across all dies.
+func (pt *Partition) TotalCores() int {
+	n := 0
+	for _, c := range pt.nextCore {
+		n += c
+	}
+	return n
+}
+
+// clampPerCore reduces the requested packing until the compartment
+// budget and (when fanIn is known) the per-core synaptic memory hold —
+// the multi-die reading of "Compute lm, optimal number of neurons per
+// core".
+func (pt *Partition) clampPerCore(perCore, fanIn int) int {
+	return NeuronsPerCoreFor(pt.HW, LayerSpec{FanIn: fanIn}, perCore)
+}
+
+// Assign places the next population (netlist build order) and returns
+// its placement. n is the population size, perCore the requested
+// packing, fanIn the declared per-neuron fan-in (0 = unknown). Returns
+// an error when the board runs out of cores or fanIn exceeds the
+// compartment limit.
+func (pt *Partition) Assign(name string, n, perCore, fanIn int) (*PopPlacement, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mapping: population %q needs positive size, got %d", name, n)
+	}
+	if fanIn > pt.HW.MaxFanInPerCompartment {
+		return nil, fmt.Errorf("mapping: population %q fan-in %d exceeds compartment limit %d",
+			name, fanIn, pt.HW.MaxFanInPerCompartment)
+	}
+	per := pt.clampPerCore(perCore, fanIn)
+	cores := (n + per - 1) / per
+
+	pl := PopPlacement{Name: name, N: n, PerCore: per, FanIn: fanIn}
+	var err error
+	switch pt.Strategy {
+	case StrategyRange:
+		err = pt.assignRange(&pl, cores)
+	default:
+		err = pt.assignPopulation(&pl, cores)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pt.Pops = append(pt.Pops, pl)
+	return &pt.Pops[len(pt.Pops)-1], nil
+}
+
+// take carves `cores` cores off die d for neurons [lo,hi) of pl.
+func (pt *Partition) take(pl *PopPlacement, die, lo, hi, cores int) {
+	pl.Shards = append(pl.Shards, Shard{
+		Die: die, Lo: lo, Hi: hi,
+		FirstCore: pt.nextCore[die], Cores: cores, PerCore: pl.PerCore,
+	})
+	pt.nextCore[die] += cores
+}
+
+// assignPopulation places the population whole on the least-loaded die
+// with room, spilling across dies ascending when no single die can hold
+// it.
+func (pt *Partition) assignPopulation(pl *PopPlacement, cores int) error {
+	best := -1
+	for d := 0; d < pt.Dies; d++ {
+		if pt.nextCore[d]+cores > pt.HW.NumCores {
+			continue
+		}
+		if best < 0 || pt.nextCore[d] < pt.nextCore[best] {
+			best = d
+		}
+	}
+	if best >= 0 {
+		pt.take(pl, best, 0, pl.N, cores)
+		return nil
+	}
+	// Spill: contiguous per-core-aligned ranges over dies ascending.
+	lo := 0
+	for d := 0; d < pt.Dies && lo < pl.N; d++ {
+		free := pt.HW.NumCores - pt.nextCore[d]
+		if free <= 0 {
+			continue
+		}
+		needed := (pl.N - lo + pl.PerCore - 1) / pl.PerCore
+		c := free
+		if c > needed {
+			c = needed
+		}
+		hi := lo + c*pl.PerCore
+		if hi > pl.N {
+			hi = pl.N
+		}
+		pt.take(pl, d, lo, hi, c)
+		lo = hi
+	}
+	if lo < pl.N {
+		return fmt.Errorf("mapping: out of cores placing %q (%d neurons unplaced, %d dies full)",
+			pl.Name, pl.N-lo, pt.Dies)
+	}
+	return nil
+}
+
+// assignRange spreads the population's cores over all dies: die i takes
+// the i-th contiguous chunk, chunk sizes as equal as core granularity
+// allows (earlier dies take the remainder cores).
+func (pt *Partition) assignRange(pl *PopPlacement, cores int) error {
+	base, extra := cores/pt.Dies, cores%pt.Dies
+	lo := 0
+	for d := 0; d < pt.Dies && lo < pl.N; d++ {
+		c := base
+		if d < extra {
+			c++
+		}
+		if c == 0 {
+			continue
+		}
+		if pt.nextCore[d]+c > pt.HW.NumCores {
+			return fmt.Errorf("mapping: out of cores placing %q chunk on die %d (need %d, %d free)",
+				pl.Name, d, c, pt.HW.NumCores-pt.nextCore[d])
+		}
+		hi := lo + c*pl.PerCore
+		if hi > pl.N {
+			hi = pl.N
+		}
+		pt.take(pl, d, lo, hi, c)
+		lo = hi
+	}
+	if lo < pl.N {
+		return fmt.Errorf("mapping: internal: %q neurons [%d,%d) unplaced", pl.Name, lo, pl.N)
+	}
+	return nil
+}
+
+// Validate checks the partition's invariants — the properties the fuzz
+// harness asserts:
+//
+//  1. every neuron of every population is assigned to exactly one shard
+//     (shards tile [0,N) without gaps or overlaps);
+//  2. no core is assigned more compartments than the hardware allows,
+//     and no die more cores than it has;
+//  3. per-core synaptic memory (PerCore × FanIn, when fan-in is
+//     declared) and the per-compartment fan-in limit hold.
+func (pt *Partition) Validate() error {
+	occ := make([][]int, pt.Dies) // per die, per core compartment counts
+	for d := range occ {
+		occ[d] = make([]int, pt.HW.NumCores)
+	}
+	for _, pl := range pt.Pops {
+		if pl.PerCore < 1 || pl.PerCore > pt.HW.MaxCompartmentsPerCore {
+			return fmt.Errorf("%q: perCore %d outside [1,%d]", pl.Name, pl.PerCore, pt.HW.MaxCompartmentsPerCore)
+		}
+		if pl.FanIn > 0 {
+			if pl.FanIn > pt.HW.MaxFanInPerCompartment {
+				return fmt.Errorf("%q: fan-in %d exceeds compartment limit %d",
+					pl.Name, pl.FanIn, pt.HW.MaxFanInPerCompartment)
+			}
+			if pl.PerCore*pl.FanIn > pt.HW.MaxSynapsesPerCore {
+				return fmt.Errorf("%q: perCore %d × fan-in %d exceeds core synapse memory %d",
+					pl.Name, pl.PerCore, pl.FanIn, pt.HW.MaxSynapsesPerCore)
+			}
+		}
+		next := 0
+		for si, s := range pl.Shards {
+			if s.Lo != next {
+				return fmt.Errorf("%q shard %d: starts at %d, want %d (gap or overlap)", pl.Name, si, s.Lo, next)
+			}
+			if s.Hi <= s.Lo {
+				return fmt.Errorf("%q shard %d: empty range [%d,%d)", pl.Name, si, s.Lo, s.Hi)
+			}
+			next = s.Hi
+			if s.Die < 0 || s.Die >= pt.Dies {
+				return fmt.Errorf("%q shard %d: die %d outside board", pl.Name, si, s.Die)
+			}
+			if s.FirstCore < 0 || s.FirstCore+s.Cores > pt.HW.NumCores {
+				return fmt.Errorf("%q shard %d: cores [%d,%d) outside die", pl.Name, si, s.FirstCore, s.FirstCore+s.Cores)
+			}
+			if got := (s.Hi - s.Lo + s.PerCore - 1) / s.PerCore; got != s.Cores {
+				return fmt.Errorf("%q shard %d: %d neurons need %d cores, recorded %d",
+					pl.Name, si, s.Hi-s.Lo, got, s.Cores)
+			}
+			remaining := s.Hi - s.Lo
+			for c := 0; c < s.Cores; c++ {
+				take := s.PerCore
+				if take > remaining {
+					take = remaining
+				}
+				occ[s.Die][s.FirstCore+c] += take
+				remaining -= take
+			}
+		}
+		if next != pl.N {
+			return fmt.Errorf("%q: shards cover [0,%d) of %d neurons", pl.Name, next, pl.N)
+		}
+	}
+	for d := range occ {
+		for core, used := range occ[d] {
+			if used > pt.HW.MaxCompartmentsPerCore {
+				return fmt.Errorf("die %d core %d: %d compartments > limit %d",
+					d, core, used, pt.HW.MaxCompartmentsPerCore)
+			}
+		}
+	}
+	return nil
+}

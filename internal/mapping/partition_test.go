@@ -1,0 +1,221 @@
+package mapping
+
+import (
+	"testing"
+
+	"emstdp/internal/loihi"
+	"emstdp/internal/rng"
+)
+
+// assignAll feeds a deterministic pseudo-random netlist shape into a
+// fresh partition and returns it (or the first error).
+func assignAll(t testing.TB, dies int, strategy Strategy, pops [][3]int) (*Partition, error) {
+	t.Helper()
+	pt, err := NewPartition(loihi.DefaultHardware(), dies, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pops {
+		if _, err := pt.Assign(popName(i), p[0], p[1], p[2]); err != nil {
+			return pt, err
+		}
+	}
+	return pt, nil
+}
+
+func popName(i int) string {
+	return string(rune('a' + i%26))
+}
+
+// randomPops draws population shapes (size, requested perCore, fanIn)
+// from a seeded stream.
+func randomPops(r *rng.Source, n int) [][3]int {
+	pops := make([][3]int, n)
+	for i := range pops {
+		pops[i] = [3]int{
+			1 + r.Intn(2000),         // size
+			1 + r.Intn(64),           // requested perCore
+			r.Intn(3) * r.Intn(2048), // fan-in, often 0 (unknown)
+		}
+	}
+	return pops
+}
+
+// TestPartitionInvariantsRandomized is the randomized table harness:
+// many seeded netlist shapes, both strategies, several die counts —
+// every accepted partition must satisfy the full invariant set
+// (exactly-once assignment, core/compartment/synapse capacities), and
+// replaying the same sequence must reproduce the identical partition.
+func TestPartitionInvariantsRandomized(t *testing.T) {
+	for _, dies := range []int{1, 2, 3, 4, 8} {
+		for _, strategy := range []Strategy{StrategyPopulation, StrategyRange} {
+			for seed := uint64(1); seed <= 25; seed++ {
+				r := rng.New(seed * 977)
+				pops := randomPops(r, 1+int(seed)%12)
+				pt, err := assignAll(t, dies, strategy, pops)
+				if err != nil {
+					// Capacity exhaustion is a legal outcome; the partial
+					// partition must still be consistent.
+					if verr := pt.Validate(); verr != nil {
+						t.Fatalf("dies=%d %v seed=%d: invalid partial partition after %v: %v",
+							dies, strategy, seed, err, verr)
+					}
+					continue
+				}
+				if err := pt.Validate(); err != nil {
+					t.Fatalf("dies=%d %v seed=%d: %v", dies, strategy, seed, err)
+				}
+				// Determinism: replaying the identical Assign sequence
+				// yields the identical placement.
+				pt2, err2 := assignAll(t, dies, strategy, pops)
+				if err2 != nil {
+					t.Fatalf("dies=%d %v seed=%d: replay failed: %v", dies, strategy, seed, err2)
+				}
+				assertSamePartition(t, pt, pt2)
+			}
+		}
+	}
+}
+
+func assertSamePartition(t *testing.T, a, b *Partition) {
+	t.Helper()
+	if len(a.Pops) != len(b.Pops) {
+		t.Fatalf("replay placed %d pops, want %d", len(b.Pops), len(a.Pops))
+	}
+	for i := range a.Pops {
+		pa, pb := a.Pops[i], b.Pops[i]
+		if pa.Name != pb.Name || pa.N != pb.N || pa.PerCore != pb.PerCore || len(pa.Shards) != len(pb.Shards) {
+			t.Fatalf("pop %d differs: %+v vs %+v", i, pa, pb)
+		}
+		for j := range pa.Shards {
+			if pa.Shards[j] != pb.Shards[j] {
+				t.Fatalf("pop %d shard %d differs: %+v vs %+v", i, j, pa.Shards[j], pb.Shards[j])
+			}
+		}
+	}
+}
+
+// TestPartitionStrategyShapes pins the intended macro-behaviour of each
+// strategy on a capacious board.
+func TestPartitionStrategyShapes(t *testing.T) {
+	hw := loihi.DefaultHardware()
+
+	// Population strategy: a pop that fits stays whole, lands on the
+	// least-loaded die.
+	pt, err := NewPartition(hw, 2, StrategyPopulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := pt.Assign("a", 100, 10, 0)
+	if len(a.Shards) != 1 || a.Shards[0].Die != 0 {
+		t.Fatalf("first pop should land whole on die 0: %+v", a.Shards)
+	}
+	b, _ := pt.Assign("b", 100, 10, 0)
+	if len(b.Shards) != 1 || b.Shards[0].Die != 1 {
+		t.Fatalf("second pop should balance onto die 1: %+v", b.Shards)
+	}
+
+	// Range strategy: a 256-neuron pop at 10/core over 2 dies splits
+	// 13+13 cores, per-core aligned, with lower rows on lower dies.
+	pt2, err := NewPartition(hw, 2, StrategyRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pt2.Assign("c", 256, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Shards) != 2 {
+		t.Fatalf("want 2 shards, got %+v", c.Shards)
+	}
+	if c.Shards[0].Die != 0 || c.Shards[1].Die != 1 || c.Shards[0].Hi != c.Shards[1].Lo {
+		t.Fatalf("range shards out of order: %+v", c.Shards)
+	}
+	if c.Shards[0].Cores+c.Shards[1].Cores != 26 {
+		t.Fatalf("core count %d+%d, want 26 total", c.Shards[0].Cores, c.Shards[1].Cores)
+	}
+	if c.Shards[0].Lo != 0 || c.Shards[1].Hi != 256 || c.Shards[0].Hi%10 != 0 {
+		t.Fatalf("range shards misaligned: %+v", c.Shards)
+	}
+
+	// Spill: a population too large for any one die must still place,
+	// as contiguous ranges.
+	small := hw
+	small.NumCores = 4
+	pt3, err := NewPartition(small, 3, StrategyPopulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pt3.Assign("d", 100, 10, 0) // needs 10 cores, dies have 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Shards) < 2 {
+		t.Fatalf("oversized pop should spill: %+v", d.Shards)
+	}
+	if err := pt3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capacity exhaustion errors out rather than overcommitting.
+	if _, err := pt3.Assign("e", 100, 10, 0); err == nil {
+		t.Fatal("expected out-of-cores error")
+	}
+}
+
+// TestPartitionCapacityClamping pins the constraint arithmetic: fan-in
+// over the compartment limit is rejected, and synaptic memory clamps
+// the packing.
+func TestPartitionCapacityClamping(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	pt, err := NewPartition(hw, 2, StrategyRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Assign("big", 10, 10, hw.MaxFanInPerCompartment+1); err == nil {
+		t.Fatal("expected fan-in rejection")
+	}
+	// fanIn 4096 → at most 128K/4096 = 32 neurons per core.
+	pl, err := pt.Assign("clamped", 500, 1000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PerCore != hw.MaxSynapsesPerCore/4096 {
+		t.Fatalf("perCore clamped to %d, want %d", pl.PerCore, hw.MaxSynapsesPerCore/4096)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzPartition feeds arbitrary byte-derived netlist shapes to both
+// strategies and asserts the invariant set on every accepted partition
+// — the Go-fuzzing half of the property harness.
+func FuzzPartition(f *testing.F) {
+	f.Add(uint64(1), 3, byte(0))
+	f.Add(uint64(42), 8, byte(1))
+	f.Add(uint64(7), 1, byte(0))
+	f.Fuzz(func(t *testing.T, seed uint64, dies int, strat byte) {
+		if dies < 1 || dies > 16 {
+			t.Skip()
+		}
+		strategy := StrategyPopulation
+		if strat%2 == 1 {
+			strategy = StrategyRange
+		}
+		r := rng.New(seed | 1)
+		pops := randomPops(r, 1+int(seed%10))
+		pt, err := assignAll(t, dies, strategy, pops)
+		if verr := pt.Validate(); verr != nil {
+			t.Fatalf("dies=%d %v seed=%d (assign err %v): %v", dies, strategy, seed, err, verr)
+		}
+		if err != nil {
+			return
+		}
+		pt2, err2 := assignAll(t, dies, strategy, pops)
+		if err2 != nil {
+			t.Fatalf("replay failed: %v", err2)
+		}
+		assertSamePartition(t, pt, pt2)
+	})
+}
