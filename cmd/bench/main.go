@@ -37,6 +37,24 @@ type Result struct {
 	// accuracy is protocol-affected and not comparable to the online
 	// rows (it isolates throughput, not quality).
 	Protocol string `json:"protocol,omitempty"`
+	// Window is the shuffle-window size of a streamed row.
+	Window int `json:"window,omitempty"`
+	// HeapBytes is the live heap (runtime.ReadMemStats HeapAlloc after a
+	// forced GC) at the end of the timed region — the steady-state
+	// memory claim of the streaming rows.
+	HeapBytes uint64 `json:"heap_bytes,omitempty"`
+	// StreamStalls / StreamStalledNs surface the ingestion channel's
+	// backpressure counters for streamed rows.
+	StreamStalls    int64 `json:"stream_stalls,omitempty"`
+	StreamStalledNs int64 `json:"stream_stalled_ns,omitempty"`
+}
+
+// liveHeap forces a collection and returns the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }
 
 // Report is the emitted document.
@@ -59,6 +77,14 @@ type Report struct {
 	// the SAME online-trained weights, so it isolates the worker pool:
 	// predictions (and accuracy) are bit-identical across widths.
 	EvalSpeedup float64 `json:"eval_speedup"`
+	// StreamOverheadPct is train_stream's per-sample cost relative to
+	// train_online_sequential (positive = streaming is slower). The
+	// ingestion pipeline is supposed to be free: the channel hand-off is
+	// microseconds against a ~millisecond training step.
+	StreamOverheadPct float64 `json:"stream_overhead_pct"`
+	// AsyncEvalSavedPct is the wall-clock fraction async evaluation
+	// saves over the synchronous train+evaluate loop at equal results.
+	AsyncEvalSavedPct float64 `json:"async_eval_saved_pct"`
 }
 
 func main() {
@@ -68,6 +94,7 @@ func main() {
 	testN := flag.Int("test", 200, "test samples")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "pool width for the parallel measurements")
 	batch := flag.Int("batch", 8, "mini-batch size for the parallel training measurement")
+	window := flag.Int("window", 256, "shuffle-window size for the streamed training measurement")
 	flag.Parse()
 
 	var backend core.Backend
@@ -88,8 +115,8 @@ func main() {
 		*batch = 1
 	}
 
-	build := func(w, b int) *core.Model {
-		m, err := core.Build(core.Options{
+	build := func(w, b int, mut func(*core.Options)) *core.Model {
+		o := core.Options{
 			Dataset:        dataset.MNIST,
 			Backend:        backend,
 			Mode:           emstdp.DFA,
@@ -99,16 +126,24 @@ func main() {
 			Workers:        w,
 			Batch:          b,
 			Seed:           1,
-		})
+		}
+		if mut != nil {
+			mut(&o)
+		}
+		m, err := core.Build(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
 		return m
 	}
+	streamed := func(o *core.Options) {
+		o.Stream = true
+		o.StreamWindow = *window
+	}
 
 	rep := Report{
-		Schema:     "emstdp-bench/v2",
+		Schema:     "emstdp-bench/v3",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Dataset:    dataset.MNIST.String(),
@@ -130,7 +165,7 @@ func main() {
 	}
 
 	// Sequential baseline: the paper's online protocol.
-	seq := build(1, 1)
+	seq := build(1, 1, nil)
 	rTrainSeq := timed("train_online_sequential", 1, 1, *trainN, func() { seq.Train(1) })
 	rTrainSeq.Accuracy = seq.Evaluate().Accuracy()
 	rTrainSeq.Protocol = "online"
@@ -142,7 +177,7 @@ func main() {
 	// replica group syncs from the master before sharding, so the only
 	// variable between this row and evaluate_sequential is the pool —
 	// speedup and accuracy isolate the engine layer.
-	parEval := build(*workers, 1)
+	parEval := build(*workers, 1, nil)
 	if err := parEval.Runner().SyncWeights(seq.Runner()); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: syncing eval weights: %v\n", err)
 		os.Exit(1)
@@ -164,14 +199,75 @@ func main() {
 	// is a different learning protocol (data-parallel mini-batches), so
 	// its accuracy is labelled protocol-affected and its speedup is a
 	// throughput ratio only.
-	par := build(*workers, *batch)
+	par := build(*workers, *batch, nil)
 	rTrainPar := timed("train_batched_parallel", *workers, *batch, *trainN, func() { par.Train(1) })
 	rTrainPar.Accuracy = par.Evaluate().Accuracy()
 	rTrainPar.Protocol = "batched"
 
-	rep.Results = []Result{rTrainSeq, rEvalSeq, rTrainPar, rEvalPar}
+	// Streamed training: the same online batch-1 protocol fed through
+	// the ingestion pipeline (shuffle window + bounded channel) instead
+	// of a materialised permutation. The heap figure is the live heap
+	// right after the run with the earlier models released — i.e. the
+	// streamed deployment's own steady-state footprint (model + dataset
+	// + pipeline), bounded by the window and watermarks rather than the
+	// stream length.
+	seq, parEval, par = nil, nil, nil
+	str := build(1, 1, streamed)
+	rTrainStream := timed("train_stream", 1, 1, *trainN, func() { str.Train(1) })
+	rTrainStream.Accuracy = str.Evaluate().Accuracy()
+	rTrainStream.Protocol = "online"
+	rTrainStream.Window = *window
+	rTrainStream.HeapBytes = liveHeap()
+	st := str.StreamStats()
+	rTrainStream.StreamStalls = st.Stalls
+	rTrainStream.StreamStalledNs = st.StalledNs
+
+	// Async evaluation overlap: two epochs with per-epoch accuracy, the
+	// evaluation of each epoch classifying a weight snapshot in the
+	// background while the next epoch trains. Compared against the
+	// synchronous train+evaluate loop producing the identical curve.
+	const overlapEpochs = 2
+	syncM := build(1, 1, streamed)
+	startSync := time.Now()
+	syncCurve := make([]float64, 0, overlapEpochs)
+	for e := 0; e < overlapEpochs; e++ {
+		syncM.TrainEpoch()
+		syncCurve = append(syncCurve, syncM.Evaluate().Accuracy())
+	}
+	tSync := time.Since(startSync)
+
+	asyncM := build(1, 1, func(o *core.Options) { streamed(o); o.AsyncEval = true })
+	startAsync := time.Now()
+	asyncCurve, err := asyncM.TrainCurve(overlapEpochs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: async curve: %v\n", err)
+		os.Exit(1)
+	}
+	tAsync := time.Since(startAsync)
+	for e := range syncCurve {
+		if syncCurve[e] != asyncCurve[e] {
+			fmt.Fprintf(os.Stderr, "bench: async accuracy curve %v != sync %v (snapshot evaluation must be bit-identical)\n",
+				asyncCurve, syncCurve)
+			os.Exit(1)
+		}
+	}
+	str, syncM = nil, nil
+	overlapWork := overlapEpochs * (*trainN + *testN)
+	rAsync := Result{
+		Name: "async_eval_overlap", Workers: 1, Batch: 1, Samples: overlapWork,
+		NsPerOp:       float64(tAsync.Nanoseconds()) / float64(overlapWork),
+		SamplesPerSec: float64(overlapWork) / tAsync.Seconds(),
+		Accuracy:      asyncCurve[len(asyncCurve)-1],
+		Protocol:      "online",
+		Window:        *window,
+		HeapBytes:     liveHeap(),
+	}
+
+	rep.Results = []Result{rTrainSeq, rEvalSeq, rTrainPar, rEvalPar, rTrainStream, rAsync}
 	rep.TrainSpeedup = rTrainSeq.NsPerOp / rTrainPar.NsPerOp
 	rep.EvalSpeedup = rEvalSeq.NsPerOp / rEvalPar.NsPerOp
+	rep.StreamOverheadPct = (rTrainStream.NsPerOp - rTrainSeq.NsPerOp) / rTrainSeq.NsPerOp * 100
+	rep.AsyncEvalSavedPct = (tSync - tAsync).Seconds() / tSync.Seconds() * 100
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -187,6 +283,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bench: wrote %s (train %.2fx, eval %.2fx at %d workers)\n",
-		*out, rep.TrainSpeedup, rep.EvalSpeedup, *workers)
+	fmt.Printf("bench: wrote %s (train %.2fx, eval %.2fx at %d workers; stream %+.1f%%, async eval saves %.1f%%)\n",
+		*out, rep.TrainSpeedup, rep.EvalSpeedup, *workers, rep.StreamOverheadPct, rep.AsyncEvalSavedPct)
 }

@@ -45,6 +45,9 @@ func main() {
 	chips := flag.String("chips", "1", "comma-separated die counts the fig3 grid sweeps (e.g. 1,2,4)")
 	partition := flag.String("partition", "population", "multi-die sharding strategy: population or range")
 	fig3csv := flag.String("fig3csv", "", "also write the fig3 grid as CSV to this path")
+	streamFlag := flag.Bool("stream", false, "train through the streaming ingestion pipeline (shuffle window + bounded channel)")
+	window := flag.Int("window", 0, "shuffle-window size for -stream (0 = default)")
+	asyncEval := flag.Bool("async-eval", false, "overlap per-epoch evaluation with the next epoch's training")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -70,6 +73,9 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Partition = *partition
+	sc.Stream = *streamFlag
+	sc.Window = *window
+	sc.AsyncEval = *asyncEval
 
 	run := func(name string, f func() error) {
 		start := time.Now()

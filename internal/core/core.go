@@ -27,6 +27,7 @@ import (
 	"emstdp/internal/mapping"
 	"emstdp/internal/metrics"
 	"emstdp/internal/rng"
+	"emstdp/internal/stream"
 	"emstdp/internal/tensor"
 )
 
@@ -101,6 +102,23 @@ type Options struct {
 	// batch-start weights on pool replicas — a different (data-parallel)
 	// protocol whose results depend on Batch but not on Workers.
 	Batch int
+	// Stream selects the streaming ingestion path for training: each
+	// epoch pulls the split through a stream.ShuffleWindow (a bounded
+	// reservoir re-ordering stage) and a bounded channel with watermark
+	// backpressure instead of materialising a permutation. The realised
+	// order is deterministic (seeded per epoch) but differs from the
+	// non-streamed shuffle; for a fixed realised order the streamed
+	// update sequence is bit-identical to the materialised one.
+	Stream bool
+	// StreamWindow is the shuffle-window size W (default 256; W = 1
+	// replays the split in storage order). Memory spent on re-ordering
+	// is bounded by W samples regardless of split size.
+	StreamWindow int
+	// AsyncEval makes TrainCurve snapshot the weights at each epoch
+	// boundary and classify the test split in the background while the
+	// next epoch trains, so accuracy curves cost near-zero wall clock.
+	// Reported accuracies are identical to the synchronous path.
+	AsyncEval bool
 	// Seed drives every random choice (default 1).
 	Seed uint64
 }
@@ -135,6 +153,9 @@ func (o Options) withDefaults() Options {
 	if o.Batch <= 0 {
 		o.Batch = 1
 	}
+	if o.StreamWindow == 0 {
+		o.StreamWindow = 256
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -162,6 +183,16 @@ type Model struct {
 	// grp lazily binds the backend to the engine's worker pool; built on
 	// the first parallel Train/Evaluate.
 	grp *engine.Group
+
+	// win is the persistent shuffle window of the streaming ingestion
+	// path (Opts.Stream): it survives across epochs so Reset advances
+	// the per-epoch seeded order; streamEpoch mirrors its position so a
+	// rebuild after RefreshFeatures resumes rather than replaying epoch
+	// 0. streamStats accumulates the ingestion counters of every
+	// streamed epoch.
+	win         *stream.ShuffleWindow
+	streamEpoch uint64
+	streamStats stream.Stats
 }
 
 // Build generates the dataset, pretrains and calibrates the conv stack,
@@ -329,7 +360,14 @@ func (m *Model) backendSamples(train bool) []metrics.Sample {
 // (batch size 1, no augmentation — §IV-A), executed sequentially on the
 // backend. Batch > 1 shards each mini-batch's two-phase passes across
 // the worker pool's replicas and applies the updates in sample order.
+// With Opts.Stream the epoch's order comes from the streaming ingestion
+// pipeline (shuffle window + bounded channel) instead of a materialised
+// permutation.
 func (m *Model) TrainEpoch() {
+	if m.Opts.Stream {
+		m.trainEpochStream()
+		return
+	}
 	order := m.shuffler.Perm(len(m.trainFeat))
 	if m.Opts.Batch <= 1 {
 		for _, idx := range order {
@@ -354,11 +392,87 @@ func (m *Model) TrainEpoch() {
 	}
 }
 
+// trainEpochStream pulls one epoch through the ingestion pipeline:
+// split → shuffle window (per-epoch seeded order, memory bounded by
+// Opts.StreamWindow) → bounded channel with watermark backpressure →
+// engine.Group.TrainStream. The window persists across epochs so each
+// Reset advances to the next deterministic order.
+func (m *Model) trainEpochStream() {
+	if m.win == nil {
+		src := stream.NewSliceSource(m.backendSamples(true))
+		// The window draws epoch e from rng.New(seed+e), so its seed
+		// must sit far from the small Seed+k offsets the model's other
+		// streams use (dataset Seed, pretrain Seed+1, shuffler Seed+2,
+		// backend Seed+3, …) or some epoch's shuffle order would be
+		// drawn from a stream bit-identical to the network's own
+		// randomness. A golden-ratio offset keeps every epoch clear of
+		// them.
+		const streamSeedOffset = 0x9e3779b97f4a7c15
+		m.win = stream.NewShuffleWindow(src, m.Opts.StreamWindow, m.Opts.Seed+streamSeedOffset)
+		// A rebuild (RefreshFeatures) must not restart at epoch 0, or
+		// the next pass would replay an already-trained order.
+		m.win.SetEpoch(m.streamEpoch)
+	}
+	ch := stream.NewChannel(m.win, stream.DefaultWatermarks())
+	if _, err := m.Group().TrainStream(ch, m.Opts.Batch); err != nil {
+		// Replica construction can only fail on backend config errors
+		// Build would already have surfaced; finish the epoch online
+		// rather than dropping it.
+		for {
+			s, ok := ch.Next()
+			if !ok {
+				break
+			}
+			m.TrainSample(s.X, s.Y)
+		}
+	}
+	ch.Stop()
+	m.streamStats.Add(ch.Stats())
+	m.win.Reset()
+	m.streamEpoch = m.win.Epoch()
+}
+
+// StreamStats returns the cumulative ingestion counters accumulated by
+// streamed training epochs (zero unless Opts.Stream is set).
+func (m *Model) StreamStats() stream.Stats { return m.streamStats }
+
 // Train runs the given number of epochs.
 func (m *Model) Train(epochs int) {
 	for e := 0; e < epochs; e++ {
 		m.TrainEpoch()
 	}
+}
+
+// TrainCurve trains for the given number of epochs and returns the test
+// accuracy measured at every epoch boundary. With Opts.AsyncEval the
+// boundary measurement is a weight snapshot classified in the
+// background while the next epoch trains (engine.Group.AsyncEvaluate),
+// so the curve costs near-zero wall clock on top of training; the
+// accuracies are identical to the synchronous path because each
+// snapshot is taken synchronously at its boundary.
+func (m *Model) TrainCurve(epochs int) ([]float64, error) {
+	accs := make([]float64, epochs)
+	if !m.Opts.AsyncEval {
+		for e := range accs {
+			m.TrainEpoch()
+			accs[e] = m.Evaluate().Accuracy()
+		}
+		return accs, nil
+	}
+	samples := m.backendSamples(false)
+	pending := make([]*engine.AsyncEval, epochs)
+	for e := 0; e < epochs; e++ {
+		m.TrainEpoch()
+		a, err := m.Group().AsyncEvaluate(samples, m.DS.NumClasses)
+		if err != nil {
+			return nil, err
+		}
+		pending[e] = a
+	}
+	for e, a := range pending {
+		accs[e] = a.Wait().Accuracy()
+	}
+	return accs, nil
 }
 
 // Evaluate classifies the test split and returns the confusion matrix.
@@ -390,6 +504,9 @@ func (m *Model) Evaluate() *metrics.Confusion {
 func (m *Model) RefreshFeatures() {
 	m.trainFeat = m.featurize(m.DS.Train)
 	m.testFeat = m.featurize(m.DS.Test)
+	// The streaming window replays a snapshot of the old features;
+	// rebuild it lazily from the fresh ones.
+	m.win = nil
 }
 
 // TrainFeatures and TestFeatures expose the featurised splits for

@@ -201,19 +201,58 @@ func Generate(cfg Config, g Gesture, r *rng.Source) *Sample {
 	return s
 }
 
+// Generator yields a class-balanced gesture stream one sample at a
+// time — sample i is gesture i mod NumGestures with fresh jitter — so a
+// consumer can train on an arbitrarily long stream without ever holding
+// a corpus in memory. NewDataset is a materialise-and-shuffle wrapper
+// over the same draw sequence.
+type Generator struct {
+	cfg  Config
+	r    *rng.Source
+	seed uint64
+	n    int
+}
+
+// NewGenerator returns a deterministic generator: two generators with
+// the same (cfg, seed) produce identical streams.
+func NewGenerator(cfg Config, seed uint64) *Generator {
+	return &Generator{cfg: cfg, r: rng.New(seed), seed: seed}
+}
+
+// Next synthesises the next sample of the stream.
+func (g *Generator) Next() *Sample {
+	s := Generate(g.cfg, Gesture(g.n%int(NumGestures)), g.r)
+	g.n++
+	return s
+}
+
+// Emitted returns the number of samples generated so far.
+func (g *Generator) Emitted() int { return g.n }
+
+// Config returns the sensor configuration the stream is drawn with.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Reset rewinds a seed-constructed generator to the start of its stream.
+func (g *Generator) Reset() {
+	g.r = rng.New(g.seed)
+	g.n = 0
+}
+
 // Dataset is a labelled gesture corpus.
 type Dataset struct {
 	Cfg         Config
 	Train, Test []*Sample
 }
 
-// NewDataset generates a balanced gesture corpus.
+// NewDataset generates a balanced gesture corpus by materialising a
+// Generator stream and shuffling it.
 func NewDataset(cfg Config, nTrain, nTest int, seed uint64) *Dataset {
 	r := rng.New(seed)
 	gen := func(n int, src *rng.Source) []*Sample {
+		g := &Generator{cfg: cfg, r: src}
 		out := make([]*Sample, n)
 		for i := range out {
-			out[i] = Generate(cfg, Gesture(i%int(NumGestures)), src)
+			out[i] = g.Next()
 		}
 		src.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 		return out

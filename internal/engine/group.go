@@ -16,6 +16,11 @@ type Group struct {
 	master Runner
 	// replicas[0] is the master itself; higher slots are clones.
 	replicas []Runner
+	// evalReplica is the dedicated snapshot replica AsyncEvaluate
+	// classifies on while training continues; pendingEval is the
+	// in-flight background pass, if any.
+	evalReplica Runner
+	pendingEval *AsyncEval
 }
 
 // NewGroup wraps master for execution through pool.

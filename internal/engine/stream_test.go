@@ -1,0 +1,206 @@
+// Streamed-training and async-evaluation contracts: TrainStream over a
+// realised stream order must be bit-identical to Train over the same
+// order materialised (weights, predictions, counters), and a background
+// AsyncEvaluate must equal a synchronous Evaluate on the same weight
+// snapshot even while the master keeps training.
+package engine_test
+
+import (
+	"testing"
+
+	"emstdp/internal/chipnet"
+	"emstdp/internal/dvs"
+	"emstdp/internal/emstdp"
+	"emstdp/internal/engine"
+	"emstdp/internal/metrics"
+	"emstdp/internal/stream"
+)
+
+// synthCfg sizes the DVS generator to the 36-input, 8-class toy network.
+func synthCfg() dvs.Config {
+	return dvs.Config{H: 6, W: 6, T: 16, BlobRadius: 1.5, NoiseRate: 0.01}
+}
+
+// realise drains a fresh SliceSource+ShuffleWindow pipeline into the
+// materialised sample sequence the streamed run will see.
+func realise(samples []metrics.Sample, window int, seed uint64) []metrics.Sample {
+	win := stream.NewShuffleWindow(stream.NewSliceSource(samples), window, seed)
+	var out []metrics.Sample
+	for {
+		s, ok := win.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, s)
+	}
+}
+
+func TestTrainStreamBitIdentical(t *testing.T) {
+	samples := synthSamples(48, 20, 4, 31)
+	test := synthSamples(24, 20, 4, 37)
+	const window, seed = 12, 5
+
+	backends := map[string]func(*testing.T) engine.Runner{
+		"fp":   func(t *testing.T) engine.Runner { return fpNet(t) },
+		"chip": func(t *testing.T) engine.Runner { return chipNet(t) },
+	}
+	cases := []struct{ workers, batch int }{
+		{1, 1}, // the paper's online protocol
+		{1, 4}, // batched path, sequential pool
+		{4, 4}, // batched path, parallel pool
+	}
+	for name, build := range backends {
+		for _, c := range cases {
+			// Materialised reference: Group.Train over the realised order.
+			realised := realise(samples, window, seed)
+			ref := build(t)
+			gRef := engine.NewGroup(ref, engine.NewPool(c.workers))
+			if err := gRef.Train(realised, order(len(realised)), c.batch); err != nil {
+				t.Fatal(err)
+			}
+
+			// Streamed run: the same pipeline delivered over the bounded
+			// channel.
+			ch := stream.NewChannel(
+				stream.NewShuffleWindow(stream.NewSliceSource(samples), window, seed),
+				stream.Watermarks{Low: 2, High: 8})
+			got := build(t)
+			gGot := engine.NewGroup(got, engine.NewPool(c.workers))
+			n, err := gGot.TrainStream(ch, c.batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(samples) {
+				t.Fatalf("%s w=%d b=%d: TrainStream trained %d samples, want %d", name, c.workers, c.batch, n, len(samples))
+			}
+			if st := ch.Stats(); st.Produced != int64(len(samples)) || st.Dropped != 0 {
+				t.Fatalf("%s w=%d b=%d: channel stats %+v", name, c.workers, c.batch, st)
+			}
+
+			// Weights bit-identical.
+			switch refN := ref.(type) {
+			case *emstdp.Network:
+				wr, wg := fpWeights(refN), fpWeights(got.(*emstdp.Network))
+				for i := range wr {
+					if wr[i] != wg[i] {
+						t.Fatalf("%s w=%d b=%d: weight %d diverged: %v vs %v", name, c.workers, c.batch, i, wr[i], wg[i])
+					}
+				}
+			case *chipnet.Network:
+				gotN := got.(*chipnet.Network)
+				wr, wg := chipWeights(refN), chipWeights(gotN)
+				for i := range wr {
+					if wr[i] != wg[i] {
+						t.Fatalf("%s w=%d b=%d: mantissa %d diverged: %v vs %v", name, c.workers, c.batch, i, wr[i], wg[i])
+					}
+				}
+				// Chip activity counters accrue identically: the streamed
+				// run drives the same phases on the same master/replicas.
+				if cr, cg := refN.Counters(), gotN.Counters(); cr != cg {
+					t.Fatalf("%s w=%d b=%d: counters diverged:\n%+v\n%+v", name, c.workers, c.batch, cr, cg)
+				}
+			}
+
+			// Predictions bit-identical.
+			for i, s := range test {
+				if pr, pg := ref.Predict(s.X), got.Predict(s.X); pr != pg {
+					t.Fatalf("%s w=%d b=%d: prediction %d diverged: %d vs %d", name, c.workers, c.batch, i, pr, pg)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainStreamFromSynthSource pins the memory-bounded path: an
+// on-demand generator streams through the window and channel into
+// training without any materialised dataset, and the run is
+// deterministic.
+func TestTrainStreamFromSynthSource(t *testing.T) {
+	build := func() (*emstdp.Network, int, error) {
+		cfg := emstdp.DefaultConfig(36, 12, 8)
+		cfg.T = 16
+		cfg.Seed = 7
+		n := emstdp.New(cfg)
+		src := stream.NewChannel(
+			stream.NewShuffleWindow(stream.NewSynthSource(synthCfg(), 40, 3), 8, 11),
+			stream.Watermarks{Low: 2, High: 8})
+		g := engine.NewGroup(n, engine.NewPool(1))
+		trained, err := g.TrainStream(src, 1)
+		return n, trained, err
+	}
+	a, na, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, nb, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != 40 || nb != 40 {
+		t.Fatalf("trained %d/%d samples, want 40", na, nb)
+	}
+	wa, wb := fpWeights(a), fpWeights(b)
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("synthetic streamed training not deterministic at weight %d", i)
+		}
+	}
+}
+
+func TestAsyncEvaluateMatchesSynchronousSnapshot(t *testing.T) {
+	train := synthSamples(24, 20, 4, 41)
+	more := synthSamples(24, 20, 4, 43)
+	test := synthSamples(40, 20, 4, 47)
+
+	for name, build := range map[string]func(*testing.T) engine.Runner{
+		"fp":   func(t *testing.T) engine.Runner { return fpNet(t) },
+		"chip": func(t *testing.T) engine.Runner { return chipNet(t) },
+	} {
+		n := build(t)
+		g := engine.NewGroup(n, engine.NewPool(2))
+		if err := g.Train(train, order(len(train)), 1); err != nil {
+			t.Fatal(err)
+		}
+
+		// Synchronous reference on the snapshot…
+		want, err := g.Evaluate(test, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// …then the async pass on the same snapshot, with the master
+		// training on in the foreground (the epoch-overlap idiom).
+		a, err := g.AsyncEvaluate(test, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Train(more, order(len(more)), 1); err != nil {
+			t.Fatal(err)
+		}
+		got := a.Wait()
+		for i := range want.Cells {
+			if want.Cells[i] != got.Cells[i] {
+				t.Fatalf("%s: confusion cell %d: sync %d vs async %d", name, i, want.Cells[i], got.Cells[i])
+			}
+		}
+		if !a.Ready() {
+			t.Fatalf("%s: Ready must report true after Wait", name)
+		}
+
+		// A second async pass sees the new weights — the snapshot argument
+		// cuts both ways.
+		want2, err := g.Evaluate(test, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := g.AsyncEvaluate(test, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2 := a2.Wait()
+		for i := range want2.Cells {
+			if want2.Cells[i] != got2.Cells[i] {
+				t.Fatalf("%s: post-training confusion cell %d: sync %d vs async %d", name, i, want2.Cells[i], got2.Cells[i])
+			}
+		}
+	}
+}

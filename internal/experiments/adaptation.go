@@ -7,6 +7,7 @@ import (
 	"emstdp/internal/core"
 	"emstdp/internal/dataset"
 	"emstdp/internal/rng"
+	"emstdp/internal/stream"
 )
 
 // AdaptationResult measures the §I claim that in-hardware learning
@@ -40,6 +41,8 @@ func Adaptation(sc Scale, driftSD float64, seed uint64, progress io.Writer) (*Ad
 			TrainSamples:   sc.TrainSamples,
 			TestSamples:    sc.TestSamples,
 			PretrainEpochs: sc.PretrainEpochs,
+			Stream:         sc.Stream,
+			StreamWindow:   sc.Window,
 			Seed:           seed,
 		})
 	}
@@ -76,11 +79,15 @@ func Adaptation(sc Scale, driftSD float64, seed uint64, progress io.Writer) (*Ad
 	res.AfterDrift = adapted.Evaluate().Accuracy()
 	logf("adaptation: after drift (sd=%.0f mantissa units) %.1f%%\n", driftSD, res.AfterDrift*100)
 
-	// Recovery stream: the same online data, one epoch. The frozen model
-	// only observes (inference); the adapted model trains.
-	feats := adapted.TrainFeatures()
-	for _, s := range feats {
-		adapted.TrainSample(s.X, s.Y)
+	// Recovery stream: the same online data, one epoch, delivered as an
+	// actual stream — the ingestion channel feeds the engine's streamed
+	// trainer the way a deployment would consume arriving sensor data.
+	// The frozen model only observes (inference); the adapted model
+	// trains.
+	ch := stream.NewChannel(stream.NewSliceSource(adapted.TrainFeatures()), stream.DefaultWatermarks())
+	defer ch.Stop()
+	if _, err := adapted.Group().TrainStream(ch, 1); err != nil {
+		return nil, fmt.Errorf("adaptation recovery stream: %w", err)
 	}
 	res.FrozenAfterStream = frozen.Evaluate().Accuracy()
 	res.AdaptedAfterStream = adapted.Evaluate().Accuracy()

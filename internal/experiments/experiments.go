@@ -53,6 +53,15 @@ type Scale struct {
 	// PerCore lists the neurons-per-core packings Fig 3 sweeps (nil =
 	// the paper's 5,10,…,30).
 	PerCore []int
+	// Stream trains every per-cell model through the streaming ingestion
+	// pipeline (shuffle window + bounded channel) instead of a
+	// materialised permutation; Window is the shuffle-window size (0 =
+	// the core default).
+	Stream bool
+	Window int
+	// AsyncEval overlaps each cell's per-epoch evaluation with the next
+	// epoch's training on a snapshot replica.
+	AsyncEval bool
 }
 
 // fig3Chips returns the die counts the grid sweeps.
@@ -144,13 +153,29 @@ func Table1(sc Scale, seed uint64, progress io.Writer) ([]Table1Row, error) {
 			TestSamples:    sc.TestSamples,
 			PretrainEpochs: sc.PretrainEpochs,
 			Batch:          sc.Batch,
+			Stream:         sc.Stream,
+			StreamWindow:   sc.Window,
+			AsyncEval:      sc.AsyncEval,
 			Seed:           seed,
 		})
 		if err != nil {
 			return fmt.Errorf("table1 %v/%v/%v: %w", c.ds, c.mode, c.backend, err)
 		}
-		m.Train(sc.Epochs)
-		acc := m.Evaluate().Accuracy()
+		var acc float64
+		if sc.AsyncEval && sc.Epochs > 0 {
+			// Per-epoch accuracies ride along at near-zero wall-clock
+			// cost: each epoch's evaluation overlaps the next epoch's
+			// training. The final point equals Evaluate on the trained
+			// weights.
+			curve, err := m.TrainCurve(sc.Epochs)
+			if err != nil {
+				return fmt.Errorf("table1 %v/%v/%v: %w", c.ds, c.mode, c.backend, err)
+			}
+			acc = curve[len(curve)-1]
+		} else {
+			m.Train(sc.Epochs)
+			acc = m.Evaluate().Accuracy()
+		}
 		rows[i] = Table1Row{Dataset: c.ds, Mode: c.mode, Backend: c.backend, Accuracy: acc}
 		if progress != nil {
 			mu.Lock()
@@ -425,6 +450,8 @@ func Fig4(sc Scale, seed uint64) (*Fig4Result, error) {
 			TrainSamples:   sc.TrainSamples,
 			TestSamples:    sc.TestSamples,
 			PretrainEpochs: sc.PretrainEpochs,
+			Stream:         sc.Stream,
+			StreamWindow:   sc.Window,
 			Seed:           seed,
 		})
 	}

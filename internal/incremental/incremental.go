@@ -20,6 +20,7 @@ import (
 
 	"emstdp/internal/metrics"
 	"emstdp/internal/rng"
+	"emstdp/internal/stream"
 )
 
 // Learner is the trainable model under test. Both the full-precision
@@ -33,6 +34,23 @@ type Learner interface {
 	EnableAllOutputs()
 	// SetLRReduced toggles the reduced learning rate used in step 1.
 	SetLRReduced(reduced bool)
+}
+
+// trainFrom streams already-ordered samples into the learner through
+// the ingestion pipeline's bounded channel: the protocol's training
+// steps are fed with watermark backpressure instead of iterating a
+// slice, which is how a deployment consumes an arriving class stream.
+// The channel preserves upstream order, so results are bit-identical
+// to the direct loop over the same samples.
+func trainFrom(l Learner, samples []metrics.Sample) {
+	ch := stream.NewChannel(stream.NewSliceSource(samples), stream.DefaultWatermarks())
+	for {
+		s, ok := ch.Next()
+		if !ok {
+			return
+		}
+		l.TrainSample(s.X, s.Y)
+	}
 }
 
 // Config parameterises the protocol.
@@ -110,9 +128,7 @@ func Run(l Learner, train, test []metrics.Sample, cfg Config) ([]RoundResult, er
 	}
 	for e := 0; e < cfg.PretrainEpochs; e++ {
 		r.Shuffle(len(pretrain), func(i, j int) { pretrain[i], pretrain[j] = pretrain[j], pretrain[i] })
-		for _, s := range pretrain {
-			l.TrainSample(s.X, s.Y)
-		}
+		trainFrom(l, pretrain)
 	}
 	acc0 := evalObserved()
 	results := []RoundResult{{
@@ -154,9 +170,7 @@ func Run(l Learner, train, test []metrics.Sample, cfg Config) ([]RoundResult, er
 			// and reduced LR (cross-distillation approximation).
 			l.SetOutputDisabled(oldMask)
 			l.SetLRReduced(true)
-			for _, s := range chunk {
-				l.TrainSample(s.X, s.Y)
-			}
+			trainFrom(l, chunk)
 			l.EnableAllOutputs()
 			l.SetLRReduced(false)
 			after1 := evalObserved()
@@ -168,9 +182,7 @@ func Run(l Learner, train, test []metrics.Sample, cfg Config) ([]RoundResult, er
 				mix = append(mix, oldPool[r.Intn(len(oldPool))])
 			}
 			r.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
-			for _, s := range mix {
-				l.TrainSample(s.X, s.Y)
-			}
+			trainFrom(l, mix)
 			after2 := evalObserved()
 
 			results = append(results, RoundResult{
@@ -192,9 +204,7 @@ func Baseline(l Learner, train, test []metrics.Sample, numClasses, epochs int, s
 	samples := append([]metrics.Sample(nil), train...)
 	for e := 0; e < epochs; e++ {
 		r.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
-		for _, s := range samples {
-			l.TrainSample(s.X, s.Y)
-		}
+		trainFrom(l, samples)
 	}
 	return metrics.Evaluate(l, test, numClasses).Accuracy()
 }

@@ -1,0 +1,223 @@
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"emstdp/internal/metrics"
+)
+
+// Watermarks bound a Channel's buffer: the producer fills ahead until
+// High samples are in flight, then stalls until the consumer drains the
+// buffer back to Low before refilling — the double-buffering hysteresis
+// that keeps a training loop fed without unbounded lookahead. High is
+// also the channel capacity, so memory is bounded by High samples
+// regardless of stream length.
+type Watermarks struct {
+	Low, High int
+}
+
+// DefaultWatermarks returns the double-buffered default: refill at 8,
+// cap at 32 in-flight samples.
+func DefaultWatermarks() Watermarks { return Watermarks{Low: 8, High: 32} }
+
+// normalised clamps the watermarks to a valid hysteresis band.
+func (w Watermarks) normalised() Watermarks {
+	if w.High < 1 {
+		w = DefaultWatermarks()
+	}
+	if w.Low < 0 {
+		w.Low = 0
+	}
+	if w.Low >= w.High {
+		w.Low = w.High - 1
+	}
+	return w
+}
+
+// Stats are a Channel's cumulative per-stage counters. StalledNs is the
+// total time the producer spent gated at the high watermark — non-zero
+// stall time with zero consumer wait is the healthy steady state (the
+// producer runs ahead of training); the inverse means ingestion is the
+// bottleneck.
+type Stats struct {
+	// Produced counts samples pulled from the upstream source and
+	// committed to the buffer.
+	Produced int64
+	// Consumed counts samples delivered to the consumer.
+	Consumed int64
+	// Dropped counts buffered samples abandoned by Stop or Reset before
+	// the consumer took them; Produced == Consumed + Dropped once the
+	// pump is stopped or the pass is drained.
+	Dropped int64
+	// Stalls counts producer gate events (in-flight reached High).
+	Stalls int64
+	// StalledNs is the total producer time spent waiting for the
+	// consumer to drain back to the low watermark.
+	StalledNs int64
+}
+
+// Add accumulates other's counters into s (aggregating across epochs or
+// pipeline stages).
+func (s *Stats) Add(other Stats) {
+	s.Produced += other.Produced
+	s.Consumed += other.Consumed
+	s.Dropped += other.Dropped
+	s.Stalls += other.Stalls
+	s.StalledNs += other.StalledNs
+}
+
+// Channel pumps an upstream Source through a bounded Go channel on a
+// producer goroutine, applying watermark backpressure. The consumer
+// side is itself a Source (Next/Reset/Len), so channels compose with
+// the other stages; unlike plain Sources, the producer generates ahead
+// concurrently with the consumer's work.
+//
+// A Channel owns its upstream source: after NewChannel, the source must
+// not be touched except through the Channel. Next is single-consumer.
+type Channel struct {
+	src Source
+	wm  Watermarks
+	ch  chan metrics.Sample
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	gated    bool
+	stopped  bool
+	stats    Stats
+	// total/consumedCycle implement Len without racing the producer's
+	// use of src: the upstream length is captured while the producer is
+	// quiescent.
+	total         int
+	consumedCycle int
+
+	done chan struct{}
+}
+
+// NewChannel starts pumping src through a buffer bounded by wm
+// (zero-value wm selects DefaultWatermarks).
+func NewChannel(src Source, wm Watermarks) *Channel {
+	c := &Channel{src: src, wm: wm.normalised()}
+	c.cond = sync.NewCond(&c.mu)
+	c.start()
+	return c
+}
+
+// start captures the upstream length and launches the producer; callers
+// hold no locks and the producer is not running.
+func (c *Channel) start() {
+	c.total = c.src.Len()
+	c.consumedCycle = 0
+	c.inflight = 0
+	c.gated = false
+	c.stopped = false
+	c.ch = make(chan metrics.Sample, c.wm.High)
+	c.done = make(chan struct{})
+	go c.produce()
+}
+
+// produce is the pump loop: pull upstream, gate at the high watermark,
+// commit to the channel. The in-flight count never exceeds High (the
+// channel capacity), so the send below cannot block and the producer
+// only ever waits on the watermark gate.
+func (c *Channel) produce() {
+	defer close(c.done)
+	defer close(c.ch)
+	for {
+		s, ok := c.src.Next()
+		if !ok {
+			return
+		}
+		c.mu.Lock()
+		if c.gated && !c.stopped {
+			c.stats.Stalls++
+			t0 := time.Now()
+			for c.gated && !c.stopped {
+				c.cond.Wait()
+			}
+			c.stats.StalledNs += time.Since(t0).Nanoseconds()
+		}
+		if c.stopped {
+			// s was pulled from upstream but never committed to the
+			// buffer; it is not counted as produced or dropped.
+			c.mu.Unlock()
+			return
+		}
+		c.inflight++
+		if c.inflight >= c.wm.High {
+			c.gated = true
+		}
+		c.stats.Produced++
+		c.mu.Unlock()
+		c.ch <- s
+	}
+}
+
+// Next delivers the next sample, blocking until the producer commits one
+// or the stream ends.
+func (c *Channel) Next() (metrics.Sample, bool) {
+	s, ok := <-c.ch
+	if !ok {
+		return metrics.Sample{}, false
+	}
+	c.mu.Lock()
+	c.inflight--
+	c.consumedCycle++
+	c.stats.Consumed++
+	if c.gated && c.inflight <= c.wm.Low {
+		c.gated = false
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	return s, true
+}
+
+// Stop halts the producer and discards any samples still buffered
+// (counted as Dropped). Idempotent; Next returns ok=false afterwards.
+func (c *Channel) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-c.done
+	n := int64(0)
+	for range c.ch {
+		n++
+	}
+	c.mu.Lock()
+	c.stats.Dropped += n
+	c.inflight = 0
+	c.mu.Unlock()
+}
+
+// Reset stops the pump, rewinds the upstream source and restarts the
+// producer for another pass. Counters accumulate across passes.
+func (c *Channel) Reset() {
+	c.Stop()
+	c.src.Reset()
+	c.start()
+}
+
+// Len returns the samples remaining in this pass (buffered plus not yet
+// produced), or -1 when the upstream length is unknown.
+func (c *Channel) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.total < 0 {
+		return -1
+	}
+	return c.total - c.consumedCycle
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Channel) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

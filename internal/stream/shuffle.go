@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"emstdp/internal/metrics"
+	"emstdp/internal/rng"
+)
+
+// ShuffleWindow re-orders its upstream source through a bounded
+// reservoir of W samples: the window is primed with the first W
+// upstream samples, then each Next draws a uniformly random slot, emits
+// it and refills the slot from upstream (draining the window once the
+// upstream is exhausted). Memory is bounded by W regardless of stream
+// length, and the output is a permutation of the input — every upstream
+// sample is emitted exactly once, no drops, no duplicates — because a
+// sample only ever moves from the window to the consumer.
+//
+// W = 1 degenerates to the identity order; W >= the stream length holds
+// the whole stream and produces a full uniform shuffle (the draw-and-
+// drain schedule is then exactly a Fisher–Yates permutation). In
+// between, W bounds how far a sample can be displaced from its arrival
+// position, which is the classic streaming-shuffle locality trade-off.
+//
+// The order is a pure function of (seed, epoch, upstream order): epoch e
+// draws from rng.New(seed + e), and Reset advances the epoch, so
+// successive passes see fresh deterministic orders and two windows
+// built with the same parameters realise identical sequences.
+type ShuffleWindow struct {
+	src    Source
+	w      int
+	seed   uint64
+	epoch  uint64
+	r      *rng.Source
+	buf    []metrics.Sample
+	primed bool
+}
+
+// NewShuffleWindow wraps src with a window of w slots (w < 1 is clamped
+// to 1) seeded for epoch 0.
+func NewShuffleWindow(src Source, w int, seed uint64) *ShuffleWindow {
+	if w < 1 {
+		w = 1
+	}
+	return &ShuffleWindow{src: src, w: w, seed: seed}
+}
+
+// prime fills the window for the current epoch.
+func (s *ShuffleWindow) prime() {
+	s.r = rng.New(s.seed + s.epoch)
+	if s.buf == nil {
+		s.buf = make([]metrics.Sample, 0, s.w)
+	}
+	for len(s.buf) < s.w {
+		nxt, ok := s.src.Next()
+		if !ok {
+			break
+		}
+		s.buf = append(s.buf, nxt)
+	}
+	s.primed = true
+}
+
+// Next emits one sample from a random window slot and refills the slot
+// from upstream.
+func (s *ShuffleWindow) Next() (metrics.Sample, bool) {
+	if !s.primed {
+		s.prime()
+	}
+	if len(s.buf) == 0 {
+		return metrics.Sample{}, false
+	}
+	i := 0
+	if len(s.buf) > 1 {
+		i = s.r.Intn(len(s.buf))
+	}
+	out := s.buf[i]
+	if nxt, ok := s.src.Next(); ok {
+		s.buf[i] = nxt
+	} else {
+		last := len(s.buf) - 1
+		s.buf[i] = s.buf[last]
+		s.buf[last] = metrics.Sample{}
+		s.buf = s.buf[:last]
+	}
+	return out, true
+}
+
+// Reset rewinds the upstream source and advances to the next epoch's
+// seeded order.
+func (s *ShuffleWindow) Reset() {
+	s.src.Reset()
+	s.buf = s.buf[:0]
+	s.primed = false
+	s.epoch++
+}
+
+// Epoch returns the epoch whose seeded order the next pass realises.
+func (s *ShuffleWindow) Epoch() uint64 { return s.epoch }
+
+// SetEpoch positions the next pass at the given epoch's seeded order —
+// for consumers that rebuild a window mid-run (e.g. after the
+// underlying samples change) without replaying earlier epochs. Any
+// partially-consumed pass is abandoned; the upstream source is rewound.
+func (s *ShuffleWindow) SetEpoch(e uint64) {
+	s.src.Reset()
+	s.buf = s.buf[:0]
+	s.primed = false
+	s.epoch = e
+}
+
+// Len returns the samples remaining (window plus upstream), or -1 when
+// the upstream length is unknown.
+func (s *ShuffleWindow) Len() int {
+	n := s.src.Len()
+	if n < 0 {
+		return -1
+	}
+	if !s.primed {
+		return n
+	}
+	return n + len(s.buf)
+}

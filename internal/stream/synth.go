@@ -1,0 +1,48 @@
+package stream
+
+import (
+	"emstdp/internal/dvs"
+	"emstdp/internal/metrics"
+)
+
+// SynthSource streams synthetic DVS gesture samples straight from the
+// generator: each Next synthesises one event stream on demand, converts
+// it to the rate-coded frame a bias-driven pipeline consumes
+// (Sample.RateMap) and discards the events — nothing is ever
+// materialised, so the stream length does not bound memory.
+type SynthSource struct {
+	gen *dvs.Generator
+	// n is the pass length; n <= 0 streams without end (Len reports -1).
+	n       int
+	emitted int
+}
+
+// NewSynthSource streams n rate-coded gesture samples per pass (n <= 0:
+// unbounded) from a deterministic generator.
+func NewSynthSource(cfg dvs.Config, n int, seed uint64) *SynthSource {
+	return &SynthSource{gen: dvs.NewGenerator(cfg, seed), n: n}
+}
+
+// Next synthesises the next gesture and returns its rate map and label.
+func (s *SynthSource) Next() (metrics.Sample, bool) {
+	if s.n > 0 && s.emitted >= s.n {
+		return metrics.Sample{}, false
+	}
+	g := s.gen.Next()
+	s.emitted++
+	return metrics.Sample{X: g.RateMap(), Y: int(g.Label)}, true
+}
+
+// Reset rewinds the generator to the start of its deterministic stream.
+func (s *SynthSource) Reset() {
+	s.gen.Reset()
+	s.emitted = 0
+}
+
+// Len returns the samples remaining in the pass, or -1 when unbounded.
+func (s *SynthSource) Len() int {
+	if s.n <= 0 {
+		return -1
+	}
+	return s.n - s.emitted
+}
