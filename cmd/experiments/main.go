@@ -42,6 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 1, "engine pool width for sweep grids (1 = sequential, -1 = GOMAXPROCS)")
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = the paper's online protocol)")
+	pipeline := flag.Int("pipeline", 0, "two-phase training pipeline depth (0/1 = strictly online; D>=2 overlaps D samples at update lag D-1)")
 	chips := flag.String("chips", "1", "comma-separated die counts the fig3 grid sweeps (e.g. 1,2,4)")
 	partition := flag.String("partition", "population", "multi-die sharding strategy: population or range")
 	fig3csv := flag.String("fig3csv", "", "also write the fig3 grid as CSV to this path")
@@ -62,6 +63,7 @@ func main() {
 	}
 	sc.Workers = *workers
 	sc.Batch = *batch
+	sc.Pipeline = *pipeline
 	dieCounts, err := parseChips(*chips)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -18,8 +18,10 @@ import (
 // applies every captured update in sample order, so the master's
 // stochastic-rounding streams advance exactly as in a sequential run and
 // parallel training is bit-identical for any worker count. Chip activity
-// counters accrue on whichever chip ran the phases — energy harnesses
-// that read counters should keep driving a single network directly.
+// counters accrue on whichever chip ran the phases; energy harnesses
+// that spread work across replicas read the totals through the engine
+// Group's deterministic replica-order reduction (engine.Group.Counters),
+// pinned equal to the sequential single-chip run.
 
 var _ engine.Runner = (*Network)(nil)
 
@@ -37,6 +39,21 @@ func (n *Network) CaptureUpdate() engine.Update {
 		u.groups[i] = g.CaptureLearnState()
 	}
 	return u
+}
+
+// CaptureUpdateInto is CaptureUpdate recycling a previously captured
+// snapshot's storage — the engine pipeline's zero-allocation steady
+// state. A u of foreign type or shape (only possible across netlists,
+// which replicas never mix) is discarded for a fresh snapshot.
+func (n *Network) CaptureUpdateInto(u engine.Update) engine.Update {
+	cu, ok := u.(*chipUpdate)
+	if !ok || len(cu.groups) != len(n.plastic) {
+		return n.CaptureUpdate()
+	}
+	for i, g := range n.plastic {
+		g.CaptureLearnStateInto(&cu.groups[i])
+	}
+	return cu
 }
 
 // ApplyUpdate fires the learning epoch: from a captured snapshot u

@@ -102,6 +102,19 @@ type Options struct {
 	// batch-start weights on pool replicas — a different (data-parallel)
 	// protocol whose results depend on Batch but not on Workers.
 	Batch int
+	// Pipeline is the two-phase training pipeline depth. 0 or 1 (the
+	// default) trains strictly online; a depth D >= 2 keeps D samples in
+	// flight across D replicas (engine.Group.TrainPipelined), each
+	// sample's two-phase pass running against one consistent weight
+	// version that lags the online schedule by exactly D-1 updates.
+	// Unlike Batch, every update is still computed from a single sample
+	// and applied in sample order — bounded-lag batch-1 — and the
+	// realized schedule depends on D alone, never on Workers. D = 2
+	// overlaps phase 1 of sample k+1 with phase 2 of sample k for ~2×
+	// online-training throughput. Takes precedence over Batch; ignored
+	// when Stream is set (the pipeline consumes a materialised epoch
+	// order).
+	Pipeline int
 	// Stream selects the streaming ingestion path for training: each
 	// epoch pulls the split through a stream.ShuffleWindow (a bounded
 	// reservoir re-ordering stage) and a bounded channel with watermark
@@ -336,6 +349,16 @@ func (m *Model) Group() *engine.Group {
 	return m.grp
 }
 
+// Close releases the background resources a model may hold — the
+// pipelined training path's persistent stage workers and their replica
+// networks. Safe (and a no-op) on a model that never pipelined; sweep
+// harnesses that build many models should close each when done with it.
+func (m *Model) Close() {
+	if m.grp != nil {
+		m.grp.ClosePipeline()
+	}
+}
+
 // backendSamples returns the training or test split in the encoding the
 // backend consumes: raw pixels when the conv stack is mapped on-chip,
 // cached conv features otherwise.
@@ -360,15 +383,30 @@ func (m *Model) backendSamples(train bool) []metrics.Sample {
 // (batch size 1, no augmentation — §IV-A), executed sequentially on the
 // backend. Batch > 1 shards each mini-batch's two-phase passes across
 // the worker pool's replicas and applies the updates in sample order.
-// With Opts.Stream the epoch's order comes from the streaming ingestion
-// pipeline (shuffle window + bounded channel) instead of a materialised
-// permutation.
+// Pipeline > 1 instead runs the bounded-lag two-phase pipeline: updates
+// stay per-sample and in order, but each pass reads weights lagging
+// exactly Pipeline-1 updates, so Pipeline passes overlap across
+// replicas. With Opts.Stream the epoch's order comes from the streaming
+// ingestion pipeline (shuffle window + bounded channel) instead of a
+// materialised permutation.
 func (m *Model) TrainEpoch() {
 	if m.Opts.Stream {
 		m.trainEpochStream()
 		return
 	}
 	order := m.shuffler.Perm(len(m.trainFeat))
+	if m.Opts.Pipeline > 1 {
+		samples := m.backendSamples(true)
+		if err := m.Group().TrainPipelined(samples, order, m.Opts.Pipeline); err != nil {
+			// Replica construction can only fail on backend config errors
+			// that Build would already have surfaced; fall back to the
+			// online path rather than dropping the epoch.
+			for _, idx := range order {
+				m.TrainSample(samples[idx].X, samples[idx].Y)
+			}
+		}
+		return
+	}
 	if m.Opts.Batch <= 1 {
 		for _, idx := range order {
 			if m.chip != nil && m.Opts.ConvOnChip {

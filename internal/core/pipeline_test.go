@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"emstdp/internal/dataset"
+)
+
+// buildPipelined constructs a small model routed through the two-phase
+// training pipeline.
+func buildPipelined(t *testing.T, backend Backend, workers, depth int) *Model {
+	t.Helper()
+	m, err := Build(Options{
+		Dataset:        dataset.MNIST,
+		Backend:        backend,
+		TrainSamples:   60,
+		TestSamples:    40,
+		PretrainEpochs: 1,
+		Workers:        workers,
+		Pipeline:       depth,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPipelineFlowsThroughModel is the end-to-end pin of the pipelined
+// schedule at the Model level: the realized training run is a pure
+// function of (options minus Workers, seed) — two identical models
+// agree bit for bit, and the pool width plays no part, because the
+// pipeline's parallelism (and update lag) is its depth alone.
+func TestPipelineFlowsThroughModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, backend := range []Backend{FP, Chip} {
+		a := buildPipelined(t, backend, 1, 2)
+		b := buildPipelined(t, backend, 4, 2)
+		a.Train(1)
+		b.Train(1)
+
+		cma, cmb := a.Evaluate(), b.Evaluate()
+		for i := range cma.Cells {
+			if cma.Cells[i] != cmb.Cells[i] {
+				t.Fatalf("%v: confusion cell %d: %d vs %d (pipelined run must not depend on Workers)",
+					backend, i, cma.Cells[i], cmb.Cells[i])
+			}
+		}
+		switch backend {
+		case FP:
+			for li := 0; li < a.FPNetwork().NumLayers(); li++ {
+				wa, wb := a.FPNetwork().Layer(li).W, b.FPNetwork().Layer(li).W
+				for i := range wa {
+					if wa[i] != wb[i] {
+						t.Fatalf("FP layer %d weight %d diverged across pool widths", li, i)
+					}
+				}
+			}
+		case Chip:
+			for li := 0; li < a.ChipNetwork().NumPlasticLayers(); li++ {
+				wa, wb := a.ChipNetwork().Plastic(li).W, b.ChipNetwork().Plastic(li).W
+				for i := range wa {
+					if wa[i] != wb[i] {
+						t.Fatalf("chip layer %d mantissa %d diverged across pool widths", li, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -46,6 +46,28 @@ func (n *Network) CaptureUpdate() engine.Update {
 	return u
 }
 
+// CaptureUpdateInto is CaptureUpdate recycling a previously captured
+// snapshot's storage — the engine pipeline's zero-allocation steady
+// state. A u of foreign type or shape (only possible across topologies,
+// which replicas never mix) is discarded for a fresh snapshot.
+func (n *Network) CaptureUpdateInto(u engine.Update) engine.Update {
+	fu, ok := u.(*fpUpdate)
+	if !ok || len(fu.enc) != len(n.encCount.Counts) || len(fu.h1) != len(n.h1) {
+		return n.CaptureUpdate()
+	}
+	for i := range n.h1 {
+		if len(fu.h1[i]) != len(n.h1[i].Counts) || len(fu.h2[i]) != len(n.h2[i].Counts) {
+			return n.CaptureUpdate()
+		}
+	}
+	copy(fu.enc, n.encCount.Counts)
+	for i := range n.h1 {
+		copy(fu.h1[i], n.h1[i].Counts)
+		copy(fu.h2[i], n.h2[i].Counts)
+	}
+	return fu
+}
+
 // ApplyUpdate applies eq (7) from a captured snapshot, or from this
 // network's own post-RunPhases counters when u is nil (the
 // allocation-free sequential path).

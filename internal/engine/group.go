@@ -21,6 +21,10 @@ type Group struct {
 	// in-flight background pass, if any.
 	evalReplica Runner
 	pendingEval *AsyncEval
+	// pipe is the persistent two-phase pipeline state (stage workers,
+	// reusable update buffers) built by the first TrainPipelined call;
+	// see pipeline.go.
+	pipe *pipeline
 }
 
 // NewGroup wraps master for execution through pool.

@@ -43,6 +43,11 @@ type Scale struct {
 	// 1 (default) is the paper's online protocol, larger values trade
 	// protocol fidelity for replica parallelism inside each cell.
 	Batch int
+	// Pipeline is the two-phase training pipeline depth forwarded to
+	// core.Options: 0/1 trains strictly online, D >= 2 keeps D samples
+	// in flight per cell at an update lag of exactly D-1 (bounded-lag
+	// batch-1 — see core.Options.Pipeline).
+	Pipeline int
 	// Chips lists the die counts the Fig-3 grid sweeps (nil or empty =
 	// {1}, the paper's single-die study). Multi-die cells shard the
 	// netlist across a lock-step mesh and report inter-die traffic.
@@ -153,6 +158,7 @@ func Table1(sc Scale, seed uint64, progress io.Writer) ([]Table1Row, error) {
 			TestSamples:    sc.TestSamples,
 			PretrainEpochs: sc.PretrainEpochs,
 			Batch:          sc.Batch,
+			Pipeline:       sc.Pipeline,
 			Stream:         sc.Stream,
 			StreamWindow:   sc.Window,
 			AsyncEval:      sc.AsyncEval,
@@ -161,6 +167,10 @@ func Table1(sc Scale, seed uint64, progress io.Writer) ([]Table1Row, error) {
 		if err != nil {
 			return fmt.Errorf("table1 %v/%v/%v: %w", c.ds, c.mode, c.backend, err)
 		}
+		// Pipelined cells hold persistent stage workers and their replica
+		// networks; release them when the cell retires or a 16-cell sweep
+		// would keep every cell's replicas live to the end.
+		defer m.Close()
 		var acc float64
 		if sc.AsyncEval && sc.Epochs > 0 {
 			// Per-epoch accuracies ride along at near-zero wall-clock

@@ -313,6 +313,21 @@ func (g *SynapseGroup) CaptureLearnState() LearnState {
 	}
 }
 
+// CaptureLearnStateInto copies the group's current learning state into
+// dst, reusing dst's slices when their shapes match (the execution
+// engine recycles snapshots so its pipelined steady state allocates
+// nothing). A dst of foreign shape is replaced with a fresh snapshot.
+func (g *SynapseGroup) CaptureLearnStateInto(dst *LearnState) {
+	if len(dst.PreTrace) != len(g.preTrace) || len(dst.Tag) != len(g.tag) ||
+		len(dst.PostTrace) != len(g.Post.postTrace) {
+		*dst = g.CaptureLearnState()
+		return
+	}
+	copy(dst.PreTrace, g.preTrace)
+	copy(dst.Tag, g.tag)
+	copy(dst.PostTrace, g.Post.postTrace)
+}
+
 // RestoreLearnState loads a captured snapshot into the group (and its
 // postsynaptic population's trace), overwriting whatever the last run
 // left behind. The stochastic-rounding stream is NOT part of the

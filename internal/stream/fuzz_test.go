@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"runtime"
+	"testing"
+
+	"emstdp/internal/metrics"
+)
+
+// FuzzChannel drives a Channel with fuzzer-chosen watermarks and a
+// fuzzer-chosen interleaving of consumer actions — consume bursts,
+// consumer stalls (which push the producer into its watermark gate),
+// mid-pass Stop, Reset for another pass — and checks the accounting
+// invariants the rest of the system leans on:
+//
+//   - conservation: once the pump is stopped, every sample the producer
+//     committed was either delivered or deliberately dropped
+//     (Produced == Consumed + Dropped), never lost or duplicated;
+//   - order: within one pass, delivered samples are exactly a prefix of
+//     the upstream order — the channel may cut a pass short (Stop) but
+//     never reorders or skips;
+//   - bounds: the in-flight count never exceeds the high watermark, so
+//     memory stays bounded no matter how the producer and consumer race.
+//
+// The script bytes make the schedule deterministic on the consumer side
+// while the producer goroutine races freely, so any interleaving bug
+// surfaces as a reproducible counterexample.
+func FuzzChannel(f *testing.F) {
+	f.Add(uint8(12), uint8(2), uint8(6), []byte{0, 0, 1, 0, 3, 0, 0, 2})
+	f.Add(uint8(40), uint8(0), uint8(1), []byte{0, 1, 0, 1, 0, 1, 0, 1, 0})
+	f.Add(uint8(7), uint8(4), uint8(4), []byte{3, 3, 2, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(0), uint8(1), uint8(8), []byte{0, 2})
+	f.Add(uint8(33), uint8(200), uint8(3), []byte{1, 0, 0, 0, 3, 1, 0, 0, 2, 3, 0})
+
+	f.Fuzz(func(t *testing.T, nSamples, low, high uint8, script []byte) {
+		n := int(nSamples)
+		samples := make([]metrics.Sample, n)
+		for i := range samples {
+			samples[i] = metrics.Sample{X: []float64{float64(i)}, Y: i}
+		}
+		ch := NewChannel(NewSliceSource(samples), Watermarks{Low: int(low), High: int(high)})
+
+		next := 0 // expected upstream index of the next delivery this pass
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // consume one sample, verifying order
+				s, ok := ch.Next()
+				if !ok {
+					if next != n {
+						t.Fatalf("pass ended after %d of %d samples without Stop", next, n)
+					}
+					continue
+				}
+				if s.Y != next {
+					t.Fatalf("out of order: got sample %d, want %d", s.Y, next)
+				}
+				next++
+			case 1: // consumer stall: let the producer run into its gate
+				runtime.Gosched()
+			case 2: // abandon the pass mid-flight
+				ch.Stop()
+				next = n // nothing more may be delivered
+			case 3: // rewind for another pass
+				ch.Reset()
+				next = 0
+			}
+			if in := ch.wm.High; in < 1 {
+				t.Fatalf("normalised high watermark %d < 1", in)
+			}
+			ch.mu.Lock()
+			if ch.inflight > ch.wm.High {
+				in := ch.inflight
+				ch.mu.Unlock()
+				t.Fatalf("in-flight %d exceeds high watermark %d", in, ch.wm.High)
+			}
+			ch.mu.Unlock()
+		}
+		ch.Stop()
+
+		st := ch.Stats()
+		if st.Produced != st.Consumed+st.Dropped {
+			t.Fatalf("conservation broken: produced %d != consumed %d + dropped %d (stats %+v)",
+				st.Produced, st.Consumed, st.Dropped, st)
+		}
+		if st.Consumed < 0 || st.Dropped < 0 || st.Stalls < 0 || st.StalledNs < 0 {
+			t.Fatalf("negative counter: %+v", st)
+		}
+		// A finite upstream bounds production per pass; passes = 1 initial
+		// + one per Reset.
+		passes := int64(1)
+		for _, op := range script {
+			if op%4 == 3 {
+				passes++
+			}
+		}
+		if st.Produced > passes*int64(n) {
+			t.Fatalf("produced %d exceeds %d passes over %d samples", st.Produced, passes, n)
+		}
+	})
+}
