@@ -26,6 +26,7 @@ package emstdp
 import (
 	"fmt"
 
+	"emstdp/internal/fixed"
 	"emstdp/internal/rng"
 	"emstdp/internal/snn"
 	"emstdp/internal/spike"
@@ -105,6 +106,14 @@ type Config struct {
 	// of this many bits spanning ±WClipK·(WInit/√fanIn) after each
 	// update — the precision-ablation knob (the chip is fixed at 8).
 	QuantBits int
+	// QuantPow2 snaps the QuantBits grid step up to the nearest power of
+	// two and snaps the initial weights onto that grid. Every weight is
+	// then an exact int mantissa times a power-of-two scale at all times,
+	// which is the precondition for the int8 packed forward kernel
+	// (snn.IFLayer.Quantized, enabled automatically) to engage while
+	// staying bit-identical to the float64 reference. Only meaningful
+	// with QuantBits > 0 and WClipK > 0.
+	QuantPow2 bool
 	// TargetHigh and TargetLow are the label-neuron rates for the true
 	// class and the other classes.
 	TargetHigh, TargetLow float64
@@ -186,6 +195,17 @@ type Network struct {
 	gatePosBuf         [][]bool
 	gateNegBuf         [][]bool
 	applyH1V, applyH2V [][]int
+	// clip and qstep are applyFrom's per-layer weight bound and
+	// quantization grid step, hoisted out of the per-output update loop
+	// (bit-identical: the loop used to recompute the same float64 values
+	// per output neuron).
+	clip  []float64
+	qstep []float64
+	// errIdx/errVal gather the nonzero entries of a phase-2 error spike
+	// vector once per bank step, so the feedback-matrix walk touches only
+	// the columns of firing error neurons instead of branching per entry.
+	errIdx []int32
+	errVal []float64
 }
 
 // New builds an EMSTDP network. LayerSizes must name at least input and
@@ -207,7 +227,23 @@ func New(cfg Config) *Network {
 	for i := 1; i < len(cfg.LayerSizes); i++ {
 		fanIn := cfg.LayerSizes[i-1]
 		scale := cfg.WInit / sqrtF(fanIn)
-		n.layers = append(n.layers, snn.NewIFLayer(r.Split(), fanIn, cfg.LayerSizes[i], scale, cfg.Theta))
+		l := snn.NewIFLayer(r.Split(), fanIn, cfg.LayerSizes[i], scale, cfg.Theta)
+		if step := layerStep(cfg, layerClip(cfg, fanIn)); step > 0 && cfg.QuantPow2 {
+			// Snap the initial weights onto the power-of-two grid so the
+			// layer is int8-packable from the first step, and ask the
+			// packed kernel to use the mantissa path. Every later update
+			// lands back on the grid (applyFrom rounds to the same step).
+			for k, w := range l.W {
+				m := int64(w/step + 0.5)
+				if w < 0 {
+					m = int64(w/step - 0.5)
+				}
+				l.W[k] = float64(m) * step
+			}
+			l.MarkWeightsDirty()
+			l.Quantized = true
+		}
+		n.layers = append(n.layers, l)
 	}
 
 	n.errOut = snn.NewErrChannel(out, cfg.ThetaErr)
@@ -260,6 +296,45 @@ func (n *Network) initScratch() {
 		n.applyH1V[i] = n.h1[i].Counts
 		n.applyH2V[i] = n.h2[i].Counts
 	}
+	n.clip = make([]float64, len(n.layers))
+	n.qstep = make([]float64, len(n.layers))
+	for li, layer := range n.layers {
+		n.clip[li] = layerClip(n.cfg, layer.In)
+		n.qstep[li] = layerStep(n.cfg, n.clip[li])
+	}
+	maxSrc := 0
+	for _, s := range n.cfg.LayerSizes[1:] {
+		if s > maxSrc {
+			maxSrc = s
+		}
+	}
+	n.errIdx = make([]int32, maxSrc)
+	n.errVal = make([]float64, maxSrc)
+}
+
+// layerClip returns the weight bound for a layer of the given fan-in
+// (zero when clipping is disabled).
+func layerClip(cfg Config, fanIn int) float64 {
+	if cfg.WClipK <= 0 {
+		return 0
+	}
+	return cfg.WClipK * cfg.WInit / sqrtF(fanIn)
+}
+
+// layerStep returns the quantization grid step for a layer with the
+// given clip (zero when quantization is disabled). With QuantPow2 the
+// step is rounded UP to the nearest power of two and sized so the grid
+// spans ±(2^(bits−1)−1) steps within the clip — every on-grid weight is
+// then an int8 mantissa times an exactly representable power-of-two
+// scale, the losslessness invariant snn's int8 packed kernel verifies.
+func layerStep(cfg Config, clip float64) float64 {
+	if cfg.QuantBits <= 0 || clip <= 0 {
+		return 0
+	}
+	if cfg.QuantPow2 {
+		return fixed.Pow2Ceil(clip / float64(int(1)<<(cfg.QuantBits-1)-1))
+	}
+	return clip / float64(int(1)<<(cfg.QuantBits-1))
 }
 
 func sqrtF(n int) float64 {
@@ -385,17 +460,19 @@ func (n *Network) reset() {
 
 // forwardStep advances encoder and all layers one timestep, recording
 // counts into the given counters. Spikes travel as (dense vector,
-// active-index list) pairs so each layer's kernel can go event-driven
-// when activity is sparse.
+// active-index list, bitset) triples so each layer's kernel can pick
+// word-parallel or event-driven iteration without rebuilding views.
 func (n *Network) forwardStep(encCounter *spike.Counter, layerCounters []*spike.Counter) {
 	s := n.enc.Step()
 	act := n.enc.Active()
+	bits := n.enc.Bits()
 	if encCounter != nil {
 		encCounter.ObserveActive(act)
 	}
 	for i, l := range n.layers {
-		s = l.StepSparse(s, act)
+		s = l.StepBits(s, act, bits)
 		act = l.Active()
+		bits = l.Bits()
 		if layerCounters != nil {
 			layerCounters[i].ObserveActive(act)
 		}
@@ -593,16 +670,30 @@ func (n *Network) driveAndInject(i int, src []int8) []int8 {
 	mat := n.b[i]
 	size := bank.Len()
 	srcN := len(src)
-	for k := 0; k < size; k++ {
-		drive := 0.0
-		row := mat[k*srcN : (k+1)*srcN]
-		for j, e := range src {
-			if e != 0 {
-				drive += float64(e) * row[j]
-			}
+	// Gather the firing error neurons once, then walk only their columns
+	// per bank neuron. The inner loop visits the same (value, column)
+	// pairs in the same ascending order as a dense scan, so the drive sum
+	// is bit-identical; most phase-2 steps have a handful of error spikes
+	// (often none), making the matrix walk O(size·spikes).
+	cnt := 0
+	for j, e := range src {
+		if e != 0 {
+			n.errIdx[cnt] = int32(j)
+			n.errVal[cnt] = float64(e)
+			cnt++
 		}
-		if drive != 0 {
-			bank.Accumulate(k, drive)
+	}
+	if cnt > 0 {
+		idx, val := n.errIdx[:cnt], n.errVal[:cnt]
+		for k := 0; k < size; k++ {
+			drive := 0.0
+			row := mat[k*srcN : (k+1)*srcN]
+			for p, j := range idx {
+				drive += val[p] * row[j]
+			}
+			if drive != 0 {
+				bank.Accumulate(k, drive)
+			}
 		}
 	}
 	var gatePos, gateNeg []bool
@@ -665,6 +756,8 @@ func (n *Network) applyFrom(enc []int, h1, h2 [][]int) {
 		post1 := h1[li]
 		post2 := h2[li]
 		isOutput := li == len(n.layers)-1
+		clip := n.clip[li]
+		step := n.qstep[li]
 		for o := 0; o < layer.Out; o++ {
 			if isOutput && n.outputDisabled[o] {
 				continue
@@ -675,14 +768,6 @@ func (n *Network) applyFrom(enc []int, h1, h2 [][]int) {
 			}
 			row := layer.W[o*layer.In : (o+1)*layer.In]
 			scale := n.eta * delta / T
-			clip := 0.0
-			if n.cfg.WClipK > 0 {
-				clip = n.cfg.WClipK * n.cfg.WInit / sqrtF(layer.In)
-			}
-			var step float64
-			if n.cfg.QuantBits > 0 && clip > 0 {
-				step = clip / float64(int(1)<<(n.cfg.QuantBits-1))
-			}
 			for k, p := range pre {
 				if p == 0 {
 					continue

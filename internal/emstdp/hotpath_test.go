@@ -33,23 +33,30 @@ func TestTrainingBitIdenticalAcrossKernels(t *testing.T) {
 		cfg.Seed = 21
 		dense := New(cfg)
 		sparse := New(cfg)
+		packed := New(cfg)
 		auto := New(cfg)
 		dense.SetKernel(snn.KernelDense)
 		sparse.SetKernel(snn.KernelSparse)
+		packed.SetKernel(snn.KernelPacked)
 
 		xs, ys := trainStream(rng.New(77), 60, 10, 60)
 		for i := range xs {
 			dense.TrainSample(xs[i], ys[i])
 			sparse.TrainSample(xs[i], ys[i])
+			packed.TrainSample(xs[i], ys[i])
 			auto.TrainSample(xs[i], ys[i])
 		}
 		for li := 0; li < dense.NumLayers(); li++ {
 			wd := dense.Layer(li).W
 			ws := sparse.Layer(li).W
+			wp := packed.Layer(li).W
 			wa := auto.Layer(li).W
 			for k := range wd {
 				if wd[k] != ws[k] {
 					t.Fatalf("%v: layer %d weight %d: dense %v sparse %v", mode, li, k, wd[k], ws[k])
+				}
+				if wd[k] != wp[k] {
+					t.Fatalf("%v: layer %d weight %d: dense %v packed %v", mode, li, k, wd[k], wp[k])
 				}
 				if wd[k] != wa[k] {
 					t.Fatalf("%v: layer %d weight %d: dense %v auto %v", mode, li, k, wd[k], wa[k])
@@ -58,11 +65,53 @@ func TestTrainingBitIdenticalAcrossKernels(t *testing.T) {
 		}
 		probe, _ := trainStream(rng.New(5), 60, 10, 20)
 		for _, x := range probe {
-			pd, ps, pa := dense.Predict(x), sparse.Predict(x), auto.Predict(x)
-			if pd != ps || pd != pa {
-				t.Fatalf("%v: predictions diverge: dense %d sparse %d auto %d", mode, pd, ps, pa)
+			pd, ps, pp, pa := dense.Predict(x), sparse.Predict(x), packed.Predict(x), auto.Predict(x)
+			if pd != ps || pd != pp || pd != pa {
+				t.Fatalf("%v: predictions diverge: dense %d sparse %d packed %d auto %d", mode, pd, ps, pp, pa)
 			}
 		}
+	}
+}
+
+// TestQuantPow2PackedInt8Engages pins the quantized weight path end to
+// end: a QuantPow2 config must (a) keep every layer on the power-of-two
+// int8 grid through training so the mantissa kernel stays engaged,
+// (b) train bit-identically to the dense reference under the SAME
+// config, and (c) allocate nothing per sample.
+func TestQuantPow2PackedInt8Engages(t *testing.T) {
+	cfg := DefaultConfig(60, 40, 10)
+	cfg.Seed = 21
+	cfg.QuantBits = 8
+	cfg.QuantPow2 = true
+	dense := New(cfg)
+	packed := New(cfg)
+	dense.SetKernel(snn.KernelDense)
+	packed.SetKernel(snn.KernelPacked)
+	for li := 0; li < packed.NumLayers(); li++ {
+		if !packed.Layer(li).Packable() {
+			t.Fatalf("layer %d not int8-packable at init under QuantPow2", li)
+		}
+	}
+	xs, ys := trainStream(rng.New(77), 60, 10, 60)
+	for i := range xs {
+		dense.TrainSample(xs[i], ys[i])
+		packed.TrainSample(xs[i], ys[i])
+	}
+	for li := 0; li < dense.NumLayers(); li++ {
+		if !packed.Layer(li).Packable() {
+			t.Fatalf("layer %d fell off the int8 grid after training", li)
+		}
+		wd, wp := dense.Layer(li).W, packed.Layer(li).W
+		for k := range wd {
+			if wd[k] != wp[k] {
+				t.Fatalf("layer %d weight %d: dense %v int8-packed %v", li, k, wd[k], wp[k])
+			}
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		packed.TrainSample(xs[0], ys[0])
+	}); avg != 0 {
+		t.Errorf("quantized TrainSample allocates %.1f objects per call, want 0", avg)
 	}
 }
 

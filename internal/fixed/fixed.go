@@ -167,6 +167,22 @@ func QuantizeBits(w float64, bits int, step float64) int {
 	return m
 }
 
+// Pow2Ceil returns the smallest power of two ≥ x (x must be positive
+// and finite). Quantized-weight configurations use it to snap their grid
+// step onto a power of two so that mantissa extraction (w / step) is an
+// exact float64 operation — the precondition for the int8 packed kernel
+// to be bit-identical with the float64 reference.
+func Pow2Ceil(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("fixed: Pow2Ceil requires a positive finite argument")
+	}
+	frac, exp := math.Frexp(x) // x = frac·2^exp, frac ∈ [0.5, 1)
+	if frac == 0.5 {
+		return x // already a power of two
+	}
+	return math.Ldexp(1, exp)
+}
+
 // ClampInt returns v clamped to [lo, hi].
 func ClampInt(v, lo, hi int) int {
 	if v < lo {

@@ -199,3 +199,26 @@ func TestClamp(t *testing.T) {
 		t.Error("ClampF wrong")
 	}
 }
+
+func TestPow2Ceil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {0.5, 0.5}, {0.25, 0.25},
+		{0.3, 0.5}, {0.51, 1}, {1.0001, 2}, {3, 4}, {4, 4}, {5, 8},
+		{1e-9, math.Ldexp(1, -29)},
+	}
+	for _, c := range cases {
+		if got := Pow2Ceil(c.in); got != c.want {
+			t.Errorf("Pow2Ceil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pow2Ceil(%v) did not panic", bad)
+				}
+			}()
+			Pow2Ceil(bad)
+		}()
+	}
+}

@@ -39,31 +39,39 @@ func buildStepBench(tb testing.TB) *Chip {
 	return chip
 }
 
-// TestDeliveryKernelsBitIdentical steps two identical chips — reference
-// dense delivery vs the event-driven transposed path — and compares
-// every membrane, spike vector and counter each step.
+// TestDeliveryKernelsBitIdentical steps three identical chips — the
+// reference dense scan, the active-index list walk, and the packed
+// word-traversal default — and compares every membrane, spike vector
+// and counter each step.
 func TestDeliveryKernelsBitIdentical(t *testing.T) {
 	dense := buildStepBench(t)
-	sparse := buildStepBench(t)
-	dense.SetDenseDelivery(true)
+	list := buildStepBench(t)
+	packed := buildStepBench(t)
+	dense.SetDelivery(DeliveryDense)
+	list.SetDelivery(DeliveryList)
+	packed.SetDelivery(DeliveryPacked)
 	for step := 0; step < 256; step++ {
 		dense.Step()
-		sparse.Step()
+		list.Step()
+		packed.Step()
 		for pi := range dense.pops {
-			dp, sp := dense.pops[pi].p, sparse.pops[pi].p
+			dp, lp, pp := dense.pops[pi].p, list.pops[pi].p, packed.pops[pi].p
 			for i := 0; i < dp.N; i++ {
-				if dp.Potential(i) != sp.Potential(i) {
-					t.Fatalf("step %d pop %s compartment %d: dense v=%d sparse v=%d",
-						step, dp.Name, i, dp.Potential(i), sp.Potential(i))
+				if dp.Potential(i) != lp.Potential(i) || dp.Potential(i) != pp.Potential(i) {
+					t.Fatalf("step %d pop %s compartment %d: dense v=%d list v=%d packed v=%d",
+						step, dp.Name, i, dp.Potential(i), lp.Potential(i), pp.Potential(i))
 				}
-				if dp.Spikes()[i] != sp.Spikes()[i] {
+				if dp.Spikes()[i] != lp.Spikes()[i] || dp.Spikes()[i] != pp.Spikes()[i] {
 					t.Fatalf("step %d pop %s compartment %d: spike mismatch", step, dp.Name, i)
 				}
 			}
 		}
 	}
-	if d, s := dense.Counters(), sparse.Counters(); d != s {
-		t.Fatalf("counters diverge:\ndense  %+v\nsparse %+v", d, s)
+	if d, l := dense.Counters(), list.Counters(); d != l {
+		t.Fatalf("counters diverge:\ndense %+v\nlist  %+v", d, l)
+	}
+	if d, p := dense.Counters(), packed.Counters(); d != p {
+		t.Fatalf("counters diverge:\ndense  %+v\npacked %+v", d, p)
 	}
 }
 
@@ -101,9 +109,32 @@ func TestActiveSpikesMatchesSpikes(t *testing.T) {
 }
 
 // BenchmarkLoihiStep measures the simulator's raw step rate on the dense
-// training shape — the number the delivery cutover and BENCH_2 read.
+// training shape with the production (packed) delivery — the number the
+// delivery cutover and BENCH_2 read.
 func BenchmarkLoihiStep(b *testing.B) {
 	chip := buildStepBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Step()
+	}
+}
+
+// BenchmarkLoihiStep_PackedDelivery names the default explicitly, so the
+// packed-vs-list comparison reads off the benchmark list directly.
+func BenchmarkLoihiStep_PackedDelivery(b *testing.B) {
+	chip := buildStepBench(b)
+	chip.SetDelivery(DeliveryPacked)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Step()
+	}
+}
+
+// BenchmarkLoihiStep_ListDelivery is the pre-packed event-driven walk of
+// the active-index list, for the packed-vs-list ratio.
+func BenchmarkLoihiStep_ListDelivery(b *testing.B) {
+	chip := buildStepBench(b)
+	chip.SetDelivery(DeliveryList)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		chip.Step()
@@ -114,7 +145,7 @@ func BenchmarkLoihiStep(b *testing.B) {
 // the speedup ratio.
 func BenchmarkLoihiStep_DenseDelivery(b *testing.B) {
 	chip := buildStepBench(b)
-	chip.SetDenseDelivery(true)
+	chip.SetDelivery(DeliveryDense)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		chip.Step()

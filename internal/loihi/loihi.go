@@ -277,13 +277,26 @@ func (c *Chip) Counters() Counters { return c.counters }
 // measured regions this way).
 func (c *Chip) ResetCounters() { c.counters = Counters{} }
 
-// SetDenseDelivery forces every connector onto the reference dense
-// delivery kernel (true) or back to the event-driven one (false). Both
-// kernels are bit-identical by construction; this hook exists so the
-// equivalence tests can prove it end to end.
-func (c *Chip) SetDenseDelivery(v bool) {
+// SetDelivery selects every connector's spike-iteration kernel: packed
+// word traversal (the default), active-index list, or the reference
+// dense scan. All three are bit-identical by construction; this hook
+// exists so the equivalence tests can prove it end to end and the
+// benchmarks can attribute the per-kernel cost.
+func (c *Chip) SetDelivery(m DeliveryMode) {
 	for _, e := range c.groups {
-		e.g.setDense(v)
+		e.g.setDelivery(m)
+	}
+}
+
+// SetDenseDelivery forces every connector onto the reference dense
+// delivery kernel (true) or back to the default packed one (false) —
+// the original two-way equivalence-test hook, kept for callers that
+// predate DeliveryMode.
+func (c *Chip) SetDenseDelivery(v bool) {
+	if v {
+		c.SetDelivery(DeliveryDense)
+	} else {
+		c.SetDelivery(DeliveryPacked)
 	}
 }
 

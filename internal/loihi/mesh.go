@@ -362,10 +362,19 @@ func (m *Mesh) LatchGates() {
 	}
 }
 
+// SetDelivery forwards the kernel-selection hook to every group.
+func (m *Mesh) SetDelivery(dm DeliveryMode) {
+	for _, mg := range m.groups {
+		mg.g.setDelivery(dm)
+	}
+}
+
 // SetDenseDelivery forwards the equivalence-test hook to every group.
 func (m *Mesh) SetDenseDelivery(v bool) {
-	for _, mg := range m.groups {
-		mg.g.setDense(v)
+	if v {
+		m.SetDelivery(DeliveryDense)
+	} else {
+		m.SetDelivery(DeliveryPacked)
 	}
 }
 

@@ -76,6 +76,11 @@ type Population struct {
 	// sparse view event-driven connectors iterate instead of scanning
 	// the dense vector. Rebuilt at rotate, cleared with the buffers.
 	activePrev *spike.ActiveList
+	// bitsPrev is the word-parallel view of spikesPrev: packed delivery
+	// traverses its nonzero words with trailing-zeros iteration. Rebuilt
+	// at rotate alongside activePrev (which is derived FROM it, so both
+	// views are consistent by construction).
+	bitsPrev *spike.Bitset
 
 	// postTrace counts this population's spikes since the last phase
 	// reset (Loihi's postsynaptic trace, no decay: EMSTDP uses it as ĥ).
@@ -120,6 +125,7 @@ func NewPopulation(name string, cfg PopulationConfig) *Population {
 		spikesNow:  make([]bool, cfg.N),
 		spikesPrev: make([]bool, cfg.N),
 		activePrev: spike.NewActiveList(cfg.N),
+		bitsPrev:   spike.NewBitset(cfg.N),
 		postTrace:  make([]uint8, cfg.N),
 	}
 	if cfg.CurrentDecayShift > 0 {
@@ -192,6 +198,10 @@ func (p *Population) Spikes() []bool { return p.spikesPrev }
 // ActiveSpikes returns the ascending indices set in Spikes() — the
 // sparse view of the same step (valid until the next step).
 func (p *Population) ActiveSpikes() []int32 { return p.activePrev.Indices() }
+
+// SpikeBits returns the word-parallel view of Spikes() (valid until the
+// next step).
+func (p *Population) SpikeBits() *spike.Bitset { return p.bitsPrev }
 
 // PostTrace returns the post-synaptic trace value of compartment i.
 func (p *Population) PostTrace(i int) uint8 { return p.postTrace[i] }
@@ -318,10 +328,12 @@ func (p *Population) updateRange(lo, hi int) int {
 }
 
 // rotate publishes this step's spikes to the synapse-visible buffer and
-// rebuilds the matching active-index list.
+// rebuilds the matching bitset and active-index views (the index list is
+// derived from the bitset, so the two can never disagree).
 func (p *Population) rotate() {
 	p.spikesPrev, p.spikesNow = p.spikesNow, p.spikesPrev
-	p.activePrev.Gather(p.spikesPrev)
+	p.bitsPrev.FromBools(p.spikesPrev)
+	p.activePrev.GatherBits(p.bitsPrev)
 	if p.cfg.Source {
 		// Injected spikes are one-shot events, not persistent state.
 		for i := range p.spikesNow {
@@ -360,6 +372,7 @@ func (p *Population) resetDynamics() {
 		}
 	}
 	p.activePrev.Reset()
+	p.bitsPrev.Zero()
 }
 
 // reset zeroes all dynamic state (sample boundary). Biases persist: they
@@ -380,4 +393,5 @@ func (p *Population) reset() {
 		}
 	}
 	p.activePrev.Reset()
+	p.bitsPrev.Zero()
 }

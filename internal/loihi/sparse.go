@@ -1,6 +1,30 @@
 package loihi
 
-import "emstdp/internal/fixed"
+import (
+	mbits "math/bits"
+
+	"emstdp/internal/fixed"
+)
+
+// DeliveryMode selects how a connector iterates last step's presynaptic
+// spikes. All three modes visit the same (pre, post) pairs in the same
+// ascending order and accumulate through the same saturating addInput,
+// so they are bit-identical by construction; the hooks exist so the
+// equivalence tests can prove it end to end and the benchmarks can
+// attribute the win.
+type DeliveryMode int
+
+const (
+	// DeliveryPacked traverses the word-parallel spike bitset with
+	// trailing-zeros iteration — the production default.
+	DeliveryPacked DeliveryMode = iota
+	// DeliveryList walks the active-index list one int32 at a time (the
+	// pre-packed event-driven kernel, kept for benchmarking).
+	DeliveryList
+	// DeliveryDense scans the dense spike vector — the reference kernel
+	// the equivalence suites compare against.
+	DeliveryDense
+)
 
 // Connector is the routing abstraction the chip steps: dense plastic
 // groups (SynapseGroup) and sparse fixed groups (SparseGroup) both
@@ -30,9 +54,9 @@ type Connector interface {
 	resetPhaseTraces()
 	// reset clears all learning state at the sample boundary.
 	reset()
-	// setDense forces the reference dense delivery kernel — the
-	// equivalence-test hook behind Chip.SetDenseDelivery.
-	setDense(v bool)
+	// setDelivery selects the spike-iteration kernel — the hook behind
+	// Chip.SetDelivery / Chip.SetDenseDelivery.
+	setDelivery(m DeliveryMode)
 
 	// GroupName identifies the group in errors and reports.
 	GroupName() string
@@ -93,7 +117,7 @@ type SparseGroup struct {
 
 	synapses int
 	maxFanIn int
-	dense    bool
+	delivery DeliveryMode
 }
 
 // sparseShard is the pre-bucketed adjacency of post rows [lo,hi).
@@ -157,10 +181,11 @@ func (g *SparseGroup) deliver() int64 { return g.deliverRange(0, g.Post.N, true)
 // Sparse groups carry no pre trace; tracePre is accepted for the
 // Connector contract.
 func (g *SparseGroup) deliverRange(lo, hi int, _ bool) int64 {
-	if g.dense {
+	if g.delivery == DeliveryDense {
 		return g.deliverDenseRange(lo, hi)
 	}
 	fanOut := g.fanOut
+	filter := false
 	if !(lo == 0 && hi == g.Post.N) {
 		if idx := g.shardFanOut(lo, hi); idx != nil {
 			// Pre-bucketed shard adjacency: walk only this shard's
@@ -169,27 +194,52 @@ func (g *SparseGroup) deliverRange(lo, hi int, _ bool) int64 {
 			fanOut = idx
 		} else {
 			// Unprepared range: filter the full adjacency.
-			var events int64
-			for _, k := range g.Pre.ActiveSpikes() {
-				for _, syn := range g.fanOut[k] {
-					if syn.Post >= lo && syn.Post < hi {
-						g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
-						events++
-					}
-				}
-			}
-			return events
+			filter = true
 		}
+	}
+	if g.delivery == DeliveryPacked {
+		return g.deliverPacked(fanOut, filter, lo, hi)
 	}
 	var events int64
 	for _, k := range g.Pre.ActiveSpikes() {
-		outs := fanOut[k]
-		for _, syn := range outs {
-			g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
-		}
-		events += int64(len(outs))
+		events += g.deliverFanOut(fanOut[k], filter, lo, hi)
 	}
 	return events
+}
+
+// deliverPacked is the list kernel with trailing-zeros iteration over
+// the presynaptic bitset instead of the index walk — identical visit
+// order, so identical saturating accumulation.
+func (g *SparseGroup) deliverPacked(fanOut [][]SparseSynapse, filter bool, lo, hi int) int64 {
+	var events int64
+	for wi, word := range g.Pre.SpikeBits().Words() {
+		base := wi << 6
+		for word != 0 {
+			k := base + mbits.TrailingZeros64(word)
+			word &= word - 1
+			events += g.deliverFanOut(fanOut[k], filter, lo, hi)
+		}
+	}
+	return events
+}
+
+// deliverFanOut scatters one presynaptic neuron's adjacency, optionally
+// range-filtered, returning the synaptic events delivered.
+func (g *SparseGroup) deliverFanOut(outs []SparseSynapse, filter bool, lo, hi int) int64 {
+	if filter {
+		var events int64
+		for _, syn := range outs {
+			if syn.Post >= lo && syn.Post < hi {
+				g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+				events++
+			}
+		}
+		return events
+	}
+	for _, syn := range outs {
+		g.Post.addInput(syn.Post, int32(syn.W)<<g.Exp)
+	}
+	return int64(len(outs))
 }
 
 // prepareRange pre-buckets the adjacency of post rows [lo,hi) (mesh
@@ -240,8 +290,8 @@ func (g *SparseGroup) deliverDenseRange(lo, hi int) int64 {
 	return events
 }
 
-// setDense toggles the reference delivery kernel (test hook).
-func (g *SparseGroup) setDense(v bool) { g.dense = v }
+// setDelivery selects the spike-iteration kernel.
+func (g *SparseGroup) setDelivery(m DeliveryMode) { g.delivery = m }
 
 // stepLearning is a no-op: sparse groups are fixed.
 func (g *SparseGroup) stepLearning() {}

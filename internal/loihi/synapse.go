@@ -2,6 +2,7 @@ package loihi
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"emstdp/internal/fixed"
 	"emstdp/internal/rng"
@@ -40,9 +41,10 @@ type SynapseGroup struct {
 	// writer of W must set the flag (MarkWeightsDirty).
 	wt      []int8
 	wtDirty bool
-	// dense forces the reference row-strided delivery kernel — the
-	// equivalence-test hook (see Chip.SetDenseDelivery).
-	dense bool
+	// delivery selects the spike-iteration kernel (packed word traversal
+	// by default; list and dense kept for benchmarks and equivalence
+	// tests — see Chip.SetDelivery).
+	delivery DeliveryMode
 }
 
 // NewSynapseGroup builds a group with zeroed weights.
@@ -81,8 +83,8 @@ func (g *SynapseGroup) ensureTransposed() {
 	g.wtDirty = false
 }
 
-// setDense toggles the reference dense delivery kernel (test hook).
-func (g *SynapseGroup) setDense(v bool) { g.dense = v }
+// setDelivery selects the spike-iteration kernel.
+func (g *SynapseGroup) setDelivery(m DeliveryMode) { g.delivery = m }
 
 // EnableLearning attaches a rule and allocates trace state. seed drives
 // the stochastic-rounding bit stream (deterministic per group).
@@ -161,14 +163,17 @@ func (g *SynapseGroup) deliver() int64 { return g.deliverRange(0, g.Post.N, true
 // neuron the contribution order (ascending presynaptic index) is the
 // same as the full kernel, so sharded delivery is bit-identical.
 func (g *SynapseGroup) deliverRange(lo, hi int, tracePre bool) int64 {
-	if g.dense {
+	if g.delivery == DeliveryDense {
 		return g.deliverDenseRange(lo, hi, tracePre)
 	}
-	active := g.Pre.ActiveSpikes()
-	if len(active) == 0 {
+	if g.Pre.activePrev.Len() == 0 {
 		return 0
 	}
 	g.ensureTransposed()
+	if g.delivery == DeliveryPacked {
+		return g.deliverPackedRange(lo, hi, tracePre)
+	}
+	active := g.Pre.ActiveSpikes()
 	postN := g.Post.N
 	if lo == 0 && hi == postN {
 		// Full-range fast path (the single-die hot loop): no per-synapse
@@ -201,6 +206,58 @@ func (g *SynapseGroup) deliverRange(lo, hi int, tracePre bool) int64 {
 			}
 		}
 		events += span
+	}
+	return events
+}
+
+// deliverPackedRange is the list kernel with trailing-zeros iteration
+// over the presynaptic spike bitset — nonzero words are scanned and each
+// set bit's transposed weight column is scattered in the same ascending
+// order the index list produces, so the saturating accumulation is
+// bit-identical while the spike iteration itself costs one popcount-
+// bounded loop per 64 presynaptic neurons.
+func (g *SynapseGroup) deliverPackedRange(lo, hi int, tracePre bool) int64 {
+	postN := g.Post.N
+	var events int64
+	if lo == 0 && hi == postN {
+		// Full-range fast path (the single-die hot loop): no per-synapse
+		// index offset.
+		for wi, word := range g.Pre.SpikeBits().Words() {
+			base := wi << 6
+			for word != 0 {
+				k := base + mbits.TrailingZeros64(word)
+				word &= word - 1
+				if tracePre && g.preTrace != nil {
+					g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
+				}
+				col := g.wt[k*postN : (k+1)*postN]
+				for o, w := range col {
+					if w != 0 {
+						g.Post.addInput(o, int32(w)<<g.Exp)
+					}
+				}
+				events += int64(postN)
+			}
+		}
+		return events
+	}
+	span := int64(hi - lo)
+	for wi, word := range g.Pre.SpikeBits().Words() {
+		base := wi << 6
+		for word != 0 {
+			k := base + mbits.TrailingZeros64(word)
+			word &= word - 1
+			if tracePre && g.preTrace != nil {
+				g.preTrace[k] = fixed.SatTrace(int64(g.preTrace[k]) + 1)
+			}
+			col := g.wt[k*postN+lo : k*postN+hi]
+			for o, w := range col {
+				if w != 0 {
+					g.Post.addInput(lo+o, int32(w)<<g.Exp)
+				}
+			}
+			events += span
+		}
 	}
 	return events
 }

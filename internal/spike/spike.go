@@ -60,6 +60,7 @@ type BiasEncoder struct {
 	u      []float64
 	spikes []bool
 	active *ActiveList
+	bits   *Bitset
 }
 
 // NewBiasEncoder returns an encoder for n input neurons with threshold
@@ -71,6 +72,7 @@ func NewBiasEncoder(n int, theta float64) *BiasEncoder {
 		u:      make([]float64, n),
 		spikes: make([]bool, n),
 		active: NewActiveList(n),
+		bits:   NewBitset(n),
 	}
 }
 
@@ -87,20 +89,34 @@ func (e *BiasEncoder) SetBiases(b []float64) {
 }
 
 // Step advances one timestep and returns the spike vector (valid until the
-// next Step call). The matching active-index list is rebuilt in the same
-// pass and readable through Active.
+// next Step call). The matching bitset and active-index list are rebuilt
+// in the same pass (readable through Bits and Active). The integration
+// loop is branchless — firing is recorded as a shifted bit and the reset
+// subtraction is θ·(0|1), exactly the same float64 values the branching
+// form produces — because rate-coded firing decisions are data-dependent
+// and mispredict at a cost comparable to the arithmetic itself.
 func (e *BiasEncoder) Step() []bool {
-	e.active.idx = e.active.idx[:0]
+	theta := e.Theta
+	words := e.bits.words
+	var w uint64
+	wi := 0
 	for i := range e.u {
-		e.u[i] += e.bias[i]
-		if e.u[i] >= e.Theta {
-			e.u[i] -= e.Theta
-			e.spikes[i] = true
-			e.active.idx = append(e.active.idx, int32(i))
-		} else {
-			e.spikes[i] = false
+		u := e.u[i] + e.bias[i]
+		fired := u >= theta
+		b := b2u(fired)
+		e.u[i] = u - theta*float64(b)
+		e.spikes[i] = fired
+		w |= b << (uint(i) & 63)
+		if i&63 == 63 {
+			words[wi] = w
+			w = 0
+			wi++
 		}
 	}
+	if len(e.u)&63 != 0 {
+		words[wi] = w
+	}
+	e.active.GatherBits(e.bits)
 	return e.spikes
 }
 
@@ -108,12 +124,17 @@ func (e *BiasEncoder) Step() []bool {
 // (ascending; valid until the next Step call).
 func (e *BiasEncoder) Active() []int32 { return e.active.idx }
 
+// Bits returns the word-parallel view of the last Step's spikes (valid
+// until the next Step call).
+func (e *BiasEncoder) Bits() *Bitset { return e.bits }
+
 // Reset zeroes membrane state (biases are kept).
 func (e *BiasEncoder) Reset() {
 	for i := range e.u {
 		e.u[i] = 0
 	}
 	e.active.Reset()
+	e.bits.Zero()
 }
 
 // QuantizeToPhase quantizes real-valued inputs in [0,1] to T bins, the
