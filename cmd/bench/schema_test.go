@@ -11,18 +11,19 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden file from the current schema")
 
-// goldenReport builds a fully-populated v5 report with fixed synthetic
+// goldenReport builds a fully-populated v6 report with fixed synthetic
 // values: every field the emitter can write appears once, so the golden
 // file pins the complete wire schema — field names, JSON key order,
 // omitempty behaviour — not any measured number.
 func goldenReport() Report {
 	return Report{
-		Schema:     "emstdp-bench/v5",
+		Schema:     "emstdp-bench/v6",
 		GoMaxProcs: 2,
 		NumCPU:     2,
 		Dataset:    "MNIST",
 		Backend:    "Python (FP)",
 		Mode:       "DFA",
+		Seed:       3,
 		TrainN:     400,
 		TestN:      200,
 		Results: []Result{
@@ -54,6 +55,18 @@ func goldenReport() Report {
 				NsPerOp: 650000, SamplesPerSec: 1538.5, Accuracy: 0.75,
 				Protocol: "online", Kernel: "packed",
 			},
+			{
+				Name: "sweep_flat", Workers: 2, Batch: 1, Samples: 12,
+				NsPerOp: 200000000, SamplesPerSec: 5,
+			},
+			{
+				Name: "sweep_orchestrated_cold", Workers: 2, Batch: 1, Samples: 12,
+				NsPerOp: 180000000, SamplesPerSec: 5.6,
+			},
+			{
+				Name: "sweep_orchestrated", Workers: 2, Batch: 1, Samples: 12,
+				NsPerOp: 1000000, SamplesPerSec: 1000,
+			},
 		},
 		TrainSpeedup:      2.0,
 		PipelineSpeedup:   1.6667,
@@ -61,6 +74,7 @@ func goldenReport() Report {
 		StreamOverheadPct: 10.0,
 		AsyncEvalSavedPct: 9.5,
 		PackedSpeedup:     1.45,
+		SweepSpeedup:      200.0,
 	}
 }
 
@@ -78,7 +92,7 @@ func TestBenchSchemaGolden(t *testing.T) {
 	}
 	got = append(got, '\n')
 
-	path := filepath.Join("testdata", "bench_v5_golden.json")
+	path := filepath.Join("testdata", "bench_v6_golden.json")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

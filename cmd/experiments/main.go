@@ -17,6 +17,8 @@ import (
 
 	"emstdp/internal/experiments"
 	"emstdp/internal/mapping"
+	"emstdp/internal/metrics"
+	"emstdp/internal/orchestrator"
 )
 
 // parseChips turns a comma-separated die-count list ("1,2,4") into the
@@ -49,6 +51,11 @@ func main() {
 	streamFlag := flag.Bool("stream", false, "train through the streaming ingestion pipeline (shuffle window + bounded channel)")
 	window := flag.Int("window", 0, "shuffle-window size for -stream (0 = default)")
 	asyncEval := flag.Bool("async-eval", false, "overlap per-epoch evaluation with the next epoch's training")
+	orchestrate := flag.Bool("orchestrate", false, "schedule sweep grids as dependency task graphs with content-addressed stage caching (bit-identical to the flat path)")
+	cacheDir := flag.String("cache-dir", "", "stage-cache spill directory for -orchestrate (\"\" = in-memory only; a populated directory makes reruns warm-start)")
+	issueLow := flag.Int("issue-low", 0, "orchestrator low watermark: refill the issue window once in-flight stages drain to this (0 = default)")
+	issueHigh := flag.Int("issue-high", 0, "orchestrator high watermark: maximum stages in flight (0 = default)")
+	governor := flag.Bool("governor", false, "adaptively retune the orchestrator issue width from realized stage throughput")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -78,6 +85,18 @@ func main() {
 	sc.Stream = *streamFlag
 	sc.Window = *window
 	sc.AsyncEval = *asyncEval
+	sc.Orchestrate = *orchestrate
+	sc.CacheDir = *cacheDir
+	sc.IssueLow = *issueLow
+	sc.IssueHigh = *issueHigh
+	sc.Governor = *governor
+	if sc.Orchestrate {
+		// One cache across every grid this invocation runs, so e.g.
+		// -exp all shares realized prefixes between table1 and fig3 cells
+		// with the same realization options.
+		sc.Cache = orchestrator.NewCache(sc.CacheDir)
+		sc.Counters = metrics.NewCounters()
+	}
 
 	run := func(name string, f func() error) {
 		start := time.Now()
@@ -165,5 +184,11 @@ func main() {
 	if *exp != "all" && !want("table1") && !want("table2") && !want("fig3") && !want("fig4") && !want("ablations") && !want("adaptation") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if sc.Counters != nil {
+		fmt.Println("orchestrator counters:")
+		for _, name := range sc.Counters.Names() {
+			fmt.Printf("  %-28s %d\n", name, sc.Counters.Get(name))
+		}
 	}
 }

@@ -220,25 +220,18 @@ type Model struct {
 }
 
 // Build generates the dataset, pretrains and calibrates the conv stack,
-// and constructs the backend network.
+// and constructs the backend network. It is exactly
+// BuildFrom(Realize(opts), opts): sweeps that share the realization
+// prefix across cells use the two stages separately.
 func Build(opts Options) (*Model, error) {
 	opts = opts.withDefaults()
-	m := &Model{Opts: opts}
-	m.DS = dataset.Generate(opts.Dataset, opts.TrainSamples, opts.TestSamples, opts.Seed)
+	return BuildFrom(Realize(opts), opts)
+}
 
-	m.Conv, m.PretrainAccuracy = ann.Pretrain(m.DS, ann.PretrainConfig{
-		Epochs: opts.PretrainEpochs, LR: 0.01, Seed: opts.Seed + 1,
-	})
-	calib := make([]*tensor.Tensor, 0, 64)
-	for i := 0; i < len(m.DS.Train) && i < 64; i++ {
-		calib = append(calib, m.DS.Train[i].Image)
-	}
-	m.Conv.Calibrate(calib)
-
-	m.trainFeat = m.featurize(m.DS.Train)
-	m.testFeat = m.featurize(m.DS.Test)
-	m.shuffler = rng.New(opts.Seed + 2)
-
+// buildBackend constructs the backend network for m.Opts over the
+// already-populated dataset/conv fields (Seed+3 drives the backend RNG).
+func (m *Model) buildBackend() error {
+	opts := m.Opts
 	sizes := append([]int{m.Conv.OutSize()}, opts.Hidden...)
 	sizes = append(sizes, m.DS.NumClasses)
 
@@ -255,14 +248,14 @@ func Build(opts Options) (*Model, error) {
 		m.fp = emstdp.New(cfg)
 		k, err := parseKernel(opts.Kernel)
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return fmt.Errorf("core: %w", err)
 		}
 		if k != snn.KernelAuto {
 			m.fp.SetKernel(k)
 		}
 	case Chip:
 		if opts.Quant8 || (opts.Kernel != "" && opts.Kernel != "auto") {
-			return nil, fmt.Errorf("core: Quant8 and Kernel select FP-backend kernels; the chip backend is always int8 with packed delivery")
+			return fmt.Errorf("core: Quant8 and Kernel select FP-backend kernels; the chip backend is always int8 with packed delivery")
 		}
 		cfg := chipnet.DefaultConfig(sizes...)
 		cfg.T = opts.T
@@ -272,7 +265,7 @@ func Build(opts Options) (*Model, error) {
 		cfg.Chips = opts.Chips
 		strategy, err := mapping.ParseStrategy(opts.PartitionStrategy)
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return fmt.Errorf("core: %w", err)
 		}
 		cfg.Partition = strategy
 		if opts.ConvOnChip {
@@ -281,12 +274,12 @@ func Build(opts Options) (*Model, error) {
 			m.chip, err = chipnet.New(cfg)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: building chip network: %w", err)
+			return fmt.Errorf("core: building chip network: %w", err)
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown backend %d", opts.Backend)
+		return fmt.Errorf("core: unknown backend %d", opts.Backend)
 	}
-	return m, nil
+	return nil
 }
 
 // parseKernel maps the Options.Kernel label to the snn kernel selector.
@@ -307,11 +300,7 @@ func parseKernel(name string) (snn.Kernel, error) {
 
 // featurize maps raw samples to normalised feature-rate samples.
 func (m *Model) featurize(in []dataset.Sample) []metrics.Sample {
-	out := make([]metrics.Sample, len(in))
-	for i, s := range in {
-		out[i] = metrics.Sample{X: m.Conv.NormalizedRates(s.Image), Y: s.Label}
-	}
-	return out
+	return featurizeWith(m.Conv, in)
 }
 
 // Features returns the frozen normalised conv features for an image.

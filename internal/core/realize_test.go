@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"emstdp/internal/dataset"
+)
+
+func realizeOpts() Options {
+	return Options{
+		Dataset:        dataset.MNIST,
+		TrainSamples:   80,
+		TestSamples:    60,
+		PretrainEpochs: 1,
+		Seed:           1,
+	}
+}
+
+// sameWeights fails the test unless a and b hold bit-identical trained
+// state for their backend.
+func sameWeights(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	if a.FPNetwork() != nil {
+		for li := 0; li < a.FPNetwork().NumLayers(); li++ {
+			wa, wb := a.FPNetwork().Layer(li).W, b.FPNetwork().Layer(li).W
+			for i := range wa {
+				if wa[i] != wb[i] {
+					t.Fatalf("%s: FP layer %d weight %d diverged", label, li, i)
+				}
+			}
+		}
+		return
+	}
+	for li := 0; li < a.ChipNetwork().NumPlasticLayers(); li++ {
+		wa, wb := a.ChipNetwork().Plastic(li).W, b.ChipNetwork().Plastic(li).W
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("%s: chip layer %d mantissa %d diverged", label, li, i)
+			}
+		}
+	}
+}
+
+// TestBuildFromMatchesBuild is the stage-split conformance check: for
+// both backends, BuildFrom(Realize(opts), opts) must train and evaluate
+// bit-identically to the monolithic Build, and one Realized must serve
+// several backend variants.
+func TestBuildFromMatchesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := realizeOpts()
+	r := Realize(opts)
+	for _, backend := range []Backend{FP, Chip} {
+		o := opts
+		o.Backend = backend
+		ref, err := Build(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := BuildFrom(r, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.PretrainAccuracy != split.PretrainAccuracy {
+			t.Fatalf("%v: pretrain accuracy %v vs %v", backend, ref.PretrainAccuracy, split.PretrainAccuracy)
+		}
+		ref.Train(1)
+		split.Train(1)
+		sameWeights(t, backend.String(), ref, split)
+		cmRef, cmSplit := ref.Evaluate(), split.Evaluate()
+		if !reflect.DeepEqual(cmRef.Cells, cmSplit.Cells) {
+			t.Fatalf("%v: confusion matrices diverged", backend)
+		}
+		ref.Close()
+		split.Close()
+	}
+}
+
+// TestRealizedGobRoundTrip checks the disk-spill encoding: a Realized
+// decoded from its gob form must build models bit-identical to the
+// original — including the chip backend with the conv stack mapped
+// on-chip, which reads the reconstructed conv weights.
+func TestRealizedGobRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := realizeOpts()
+	r := Realize(opts)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	var rt Realized
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.PretrainAccuracy != r.PretrainAccuracy {
+		t.Fatalf("pretrain accuracy %v vs %v", rt.PretrainAccuracy, r.PretrainAccuracy)
+	}
+	if rt.Conv.A1 != r.Conv.A1 || rt.Conv.A2 != r.Conv.A2 {
+		t.Fatal("calibration constants diverged")
+	}
+	if !reflect.DeepEqual(rt.TrainFeat, r.TrainFeat) || !reflect.DeepEqual(rt.TestFeat, r.TestFeat) {
+		t.Fatal("featurised splits diverged")
+	}
+	for _, backend := range []Backend{FP, Chip} {
+		o := opts
+		o.Backend = backend
+		o.ConvOnChip = backend == Chip
+		a, err := BuildFrom(r, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildFrom(&rt, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Train(1)
+		b.Train(1)
+		sameWeights(t, "round-trip "+backend.String(), a, b)
+		if !reflect.DeepEqual(a.Evaluate().Cells, b.Evaluate().Cells) {
+			t.Fatalf("%v: confusion matrices diverged after round trip", backend)
+		}
+		a.Close()
+		b.Close()
+	}
+}

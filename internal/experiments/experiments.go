@@ -20,6 +20,9 @@ import (
 	"emstdp/internal/incremental"
 	"emstdp/internal/loihi"
 	"emstdp/internal/mapping"
+	"emstdp/internal/metrics"
+	"emstdp/internal/orchestrator"
+	"emstdp/internal/stream"
 )
 
 // Scale sizes an experiment run. Quick keeps unit-test and bench
@@ -67,6 +70,54 @@ type Scale struct {
 	// AsyncEval overlaps each cell's per-epoch evaluation with the next
 	// epoch's training on a snapshot replica.
 	AsyncEval bool
+	// Orchestrate routes the sweep grids (Table I, Fig 3, ablations)
+	// through the dependency-scheduled orchestrator instead of flat
+	// cell-per-worker sharding: each grid becomes a task graph whose
+	// shared prefixes (dataset realization, conv pretraining) compute
+	// exactly once, with stage outputs memoized in a content-addressed
+	// cache. Results are bit-identical to the flat path.
+	Orchestrate bool
+	// Cache is the stage cache orchestrated runs share; nil builds a
+	// transient per-call cache over CacheDir. Reusing one cache across
+	// calls is what makes a warm rerun compute nothing.
+	Cache *orchestrator.Cache
+	// CacheDir is the disk-spill directory for the transient cache built
+	// when Cache is nil ("" = memory only).
+	CacheDir string
+	// IssueLow and IssueHigh are the orchestrator's issue watermarks
+	// (0 = the grid default, low 2 / high 8).
+	IssueLow, IssueHigh int
+	// Governor enables adaptive issue-width retuning within
+	// [1, IssueHigh] from realized stage throughput.
+	Governor bool
+	// Counters, if set, receives the orchestrator's observability
+	// counters.
+	Counters *metrics.Counters
+}
+
+// orchRun assembles the orchestrator configuration for a grid run.
+func (sc Scale) orchRun() orchestrator.Config {
+	cache := sc.Cache
+	if cache == nil {
+		cache = orchestrator.NewCache(sc.CacheDir)
+	}
+	wm := stream.Watermarks{Low: sc.IssueLow, High: sc.IssueHigh}
+	if wm.High < 1 {
+		// Grid stages are coarse (whole training runs), so a shallow
+		// issue window keeps memory bounded without starving the pool.
+		wm = stream.Watermarks{Low: 2, High: 8}
+	}
+	var gov *orchestrator.Governor
+	if sc.Governor {
+		gov = orchestrator.NewGovernor(1, wm.High)
+	}
+	return orchestrator.Config{
+		Pool:     sc.pool(),
+		Cache:    cache,
+		WM:       wm,
+		Governor: gov,
+		Counters: sc.Counters,
+	}
 }
 
 // fig3Chips returns the die counts the grid sweeps.
@@ -133,37 +184,15 @@ type Table1Row struct {
 // each cell's result is a pure function of its options and seed, so the
 // grid is deterministic for any pool width.
 func Table1(sc Scale, seed uint64, progress io.Writer) ([]Table1Row, error) {
-	type cell struct {
-		ds      dataset.Kind
-		mode    emstdp.FeedbackMode
-		backend core.Backend
+	if sc.Orchestrate {
+		return table1Graph(sc, seed, progress)
 	}
-	var cells []cell
-	for _, ds := range []dataset.Kind{dataset.MNIST, dataset.FashionMNIST, dataset.MSTAR, dataset.CIFAR10} {
-		for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
-			for _, backend := range []core.Backend{core.Chip, core.FP} {
-				cells = append(cells, cell{ds, mode, backend})
-			}
-		}
-	}
+	cells := table1Cells()
 	rows := make([]Table1Row, len(cells))
 	var mu sync.Mutex
 	err := mapGrid(sc.pool(), len(cells), func(i int) error {
 		c := cells[i]
-		m, err := core.Build(core.Options{
-			Dataset:        c.ds,
-			Backend:        c.backend,
-			Mode:           c.mode,
-			TrainSamples:   sc.TrainSamples,
-			TestSamples:    sc.TestSamples,
-			PretrainEpochs: sc.PretrainEpochs,
-			Batch:          sc.Batch,
-			Pipeline:       sc.Pipeline,
-			Stream:         sc.Stream,
-			StreamWindow:   sc.Window,
-			AsyncEval:      sc.AsyncEval,
-			Seed:           seed,
-		})
+		m, err := core.Build(table1Options(sc, seed, c))
 		if err != nil {
 			return fmt.Errorf("table1 %v/%v/%v: %w", c.ds, c.mode, c.backend, err)
 		}
@@ -342,70 +371,93 @@ type Fig3Point struct {
 // what the sweep exposes is the added mesh traffic and fabric energy of
 // each partition strategy.
 func Fig3(sc Scale, seed uint64) ([]Fig3Point, error) {
-	type point struct {
-		mode  emstdp.FeedbackMode
-		chips int
-		per   int
+	if sc.Orchestrate {
+		return fig3Graph(sc, seed)
 	}
-	var grid []point
-	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
-		for _, chips := range sc.fig3Chips() {
-			for _, per := range sc.fig3PerCore() {
-				grid = append(grid, point{mode, chips, per})
-			}
-		}
-	}
+	grid := fig3Grid(sc)
 	points := make([]Fig3Point, len(grid))
-	model := energy.DefaultLoihi()
 	err := mapGrid(sc.pool(), len(grid), func(i int) error {
 		p := grid[i]
-		m, err := core.Build(core.Options{
-			Dataset:           dataset.MNIST,
-			Backend:           core.Chip,
-			Mode:              p.mode,
-			ConvOnChip:        true,
-			NeuronsPerCore:    p.per,
-			Chips:             p.chips,
-			PartitionStrategy: sc.Partition,
-			TrainSamples:      maxInt(sc.EnergySamples, 10),
-			TestSamples:       10,
-			PretrainEpochs:    1,
-			Seed:              seed,
-		})
+		m, err := core.Build(fig3Options(sc, seed, p))
 		if err != nil {
 			return err
 		}
-		net := m.ChipNetwork()
-		net.ResetCounters()
-		for j := 0; j < sc.EnergySamples; j++ {
-			s := m.DS.Train[j%len(m.DS.Train)]
-			net.TrainSample(s.Image.Data, s.Label)
-		}
-		var traffic loihi.MeshTraffic
-		if mesh := net.Mesh(); mesh != nil {
-			traffic = mesh.Traffic()
-		}
-		rep := model.AnalyzeMesh(net.Counters(), traffic, net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
-		strategy, _ := mapping.ParseStrategy(sc.Partition)
-		points[i] = Fig3Point{
-			Mode:                p.mode,
-			Chips:               p.chips,
-			Partition:           strategy.String(),
-			NeuronsPerCore:      p.per,
-			Cores:               rep.CoresUsed,
-			TimeFor10k:          rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
-			PowerWatts:          rep.PowerWatts,
-			EnergyPerSample:     rep.EnergyPerSampleJ,
-			MeshSpikes:          traffic.CrossDieSpikes,
-			MeshHops:            traffic.SpikeHops,
-			MeshEnergyPerSample: rep.MeshEnergyJ / float64(maxInt(sc.EnergySamples, 1)),
-		}
+		points[i] = fig3Measure(m, sc, p)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return points, nil
+}
+
+// fig3PointSpec is one grid coordinate of the Fig-3 sweep.
+type fig3PointSpec struct {
+	mode  emstdp.FeedbackMode
+	chips int
+	per   int
+}
+
+// fig3Grid enumerates the sweep coordinates in the committed row order.
+func fig3Grid(sc Scale) []fig3PointSpec {
+	var grid []fig3PointSpec
+	for _, mode := range []emstdp.FeedbackMode{emstdp.FA, emstdp.DFA} {
+		for _, chips := range sc.fig3Chips() {
+			for _, per := range sc.fig3PerCore() {
+				grid = append(grid, fig3PointSpec{mode, chips, per})
+			}
+		}
+	}
+	return grid
+}
+
+// fig3Options is the cell's full model configuration — the single
+// source both the flat and the orchestrated sweep build from.
+func fig3Options(sc Scale, seed uint64, p fig3PointSpec) core.Options {
+	return core.Options{
+		Dataset:           dataset.MNIST,
+		Backend:           core.Chip,
+		Mode:              p.mode,
+		ConvOnChip:        true,
+		NeuronsPerCore:    p.per,
+		Chips:             p.chips,
+		PartitionStrategy: sc.Partition,
+		TrainSamples:      maxInt(sc.EnergySamples, 10),
+		TestSamples:       10,
+		PretrainEpochs:    1,
+		Seed:              seed,
+	}
+}
+
+// fig3Measure drives sc.EnergySamples training samples through the
+// cell's deployment and reduces the activity counters to a Fig3Point.
+func fig3Measure(m *core.Model, sc Scale, p fig3PointSpec) Fig3Point {
+	model := energy.DefaultLoihi()
+	net := m.ChipNetwork()
+	net.ResetCounters()
+	for j := 0; j < sc.EnergySamples; j++ {
+		s := m.DS.Train[j%len(m.DS.Train)]
+		net.TrainSample(s.Image.Data, s.Label)
+	}
+	var traffic loihi.MeshTraffic
+	if mesh := net.Mesh(); mesh != nil {
+		traffic = mesh.Traffic()
+	}
+	rep := model.AnalyzeMesh(net.Counters(), traffic, net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
+	strategy, _ := mapping.ParseStrategy(sc.Partition)
+	return Fig3Point{
+		Mode:                p.mode,
+		Chips:               p.chips,
+		Partition:           strategy.String(),
+		NeuronsPerCore:      p.per,
+		Cores:               rep.CoresUsed,
+		TimeFor10k:          rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
+		PowerWatts:          rep.PowerWatts,
+		EnergyPerSample:     rep.EnergyPerSampleJ,
+		MeshSpikes:          traffic.CrossDieSpikes,
+		MeshHops:            traffic.SpikeHops,
+		MeshEnergyPerSample: rep.MeshEnergyJ / float64(maxInt(sc.EnergySamples, 1)),
+	}
 }
 
 // PrintFig3 renders the sweep as the series plotted in Fig 3, extended

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"emstdp/internal/metrics"
+	"emstdp/internal/orchestrator"
+)
+
+// orchestrated returns sc routed through the orchestrator with a shared
+// cache, at the given pool width.
+func orchestrated(sc Scale, cache *orchestrator.Cache, workers int, ctr *metrics.Counters) Scale {
+	sc.Orchestrate = true
+	sc.Cache = cache
+	sc.Workers = workers
+	sc.Governor = true
+	sc.Counters = ctr
+	return sc
+}
+
+// TestFig3OrchestratedMatchesFlat is the tentpole conformance spec for
+// the Fig-3 grid: the orchestrated sweep must reproduce the flat
+// cell-per-worker sweep bit-for-bit at pool widths 1 and 4, cold cache
+// and warm — and the warm run must issue zero tasks.
+func TestFig3OrchestratedMatchesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sc := goldenScale()
+	flat, err := Fig3(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := orchestrator.NewCache("")
+	for i, workers := range []int{1, 4} {
+		ctr := metrics.NewCounters()
+		pts, err := Fig3(orchestrated(sc, cache, workers, ctr), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pts, flat) {
+			t.Fatalf("workers=%d: orchestrated Fig-3 diverged from flat sweep", workers)
+		}
+		if i > 0 && ctr.Get("orchestrator.issued") != 0 {
+			t.Fatalf("warm rerun issued %d tasks, want 0", ctr.Get("orchestrator.issued"))
+		}
+	}
+	// Disk-spilled cache: a fresh process-equivalent cache over the same
+	// directory must also reproduce the grid exactly.
+	dir := t.TempDir()
+	if _, err := Fig3(orchestrated(sc, orchestrator.NewCache(dir), 2, nil), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctr := metrics.NewCounters()
+	pts, err := Fig3(orchestrated(sc, orchestrator.NewCache(dir), 2, ctr), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, flat) {
+		t.Fatal("disk-warm orchestrated Fig-3 diverged from flat sweep")
+	}
+	if ctr.Get("orchestrator.issued") != 0 {
+		t.Fatalf("disk-warm rerun issued %d tasks, want 0", ctr.Get("orchestrator.issued"))
+	}
+}
+
+// TestAblationsOrchestratedMatchesFlat checks the ablation grid the
+// same way: one shared realized prefix, bit-identical variant
+// accuracies, warm rerun fully cached.
+func TestAblationsOrchestratedMatchesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sc := tinyScale()
+	flat, err := Ablations(sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := orchestrator.NewCache("")
+	for i, workers := range []int{1, 4} {
+		ctr := metrics.NewCounters()
+		got, err := Ablations(orchestrated(sc, cache, workers, ctr), 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, flat) {
+			t.Fatalf("workers=%d: orchestrated ablations diverged from flat sweep", workers)
+		}
+		if i > 0 && ctr.Get("orchestrator.issued") != 0 {
+			t.Fatalf("warm rerun issued %d tasks, want 0", ctr.Get("orchestrator.issued"))
+		}
+	}
+}
+
+// TestTable1OrchestratedMatchesFlat runs the full 16-cell Table-I grid
+// at tiny scale through both paths: per-dataset realize/pretrain
+// prefixes shared across four cells each, ephemeral train checkpoints
+// released after evaluation, and accuracies bit-identical to the flat
+// sweep at both pool widths.
+func TestTable1OrchestratedMatchesFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sc := tinyScale()
+	flat, err := Table1(sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := orchestrator.NewCache("")
+	for i, workers := range []int{1, 4} {
+		ctr := metrics.NewCounters()
+		rows, err := Table1(orchestrated(sc, cache, workers, ctr), 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows, flat) {
+			t.Fatalf("workers=%d: orchestrated Table I diverged from flat sweep", workers)
+		}
+		if i == 0 {
+			// 4 datasets × (realize + pretrain) + 16 × (train + evaluate).
+			if got := ctr.Get("orchestrator.issued"); got != 40 {
+				t.Fatalf("cold run issued %d stages, want 40", got)
+			}
+			// Every train checkpoint is ephemeral and must be released.
+			if got := ctr.Get("orchestrator.released"); got != 16 {
+				t.Fatalf("cold run released %d checkpoints, want 16", got)
+			}
+		} else if got := ctr.Get("orchestrator.issued"); got != 0 {
+			t.Fatalf("warm rerun issued %d tasks, want 0", got)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("a.x", 3)
+	c.Add("a.x", 2)
+	c.Set("a.y", 7)
+	c.Set("a.y", 5)
+	if got := c.Get("a.x"); got != 5 {
+		t.Fatalf("Add accumulation: got %d, want 5", got)
+	}
+	if got := c.Get("a.y"); got != 5 {
+		t.Fatalf("Set overwrite: got %d, want 5", got)
+	}
+	if got := c.Get("absent"); got != 0 {
+		t.Fatalf("absent counter: got %d, want 0", got)
+	}
+	if got, want := c.Names(), []string{"a.x", "a.y"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	snap := c.Snapshot()
+	c.Add("a.x", 100)
+	if snap["a.x"] != 5 {
+		t.Fatal("Snapshot must be a copy, not a live view")
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1)
+	c.Set("x", 1)
+	if c.Get("x") != 0 || c.Snapshot() != nil || c.Names() != nil {
+		t.Fatal("nil registry must act as a sink")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Fatalf("concurrent adds lost updates: got %d, want 8000", got)
+	}
+}

@@ -1,0 +1,95 @@
+package orchestrator
+
+import (
+	"sync"
+	"time"
+)
+
+// Governor adaptively retunes the scheduler's issue width from
+// realized throughput. Each drain window (the interval between two
+// watermark refills) reports how many tasks completed and how long the
+// window took; the governor hill-climbs the width within [Min, Max]:
+// keep moving in the current direction while the completion rate
+// improves, reverse when it degrades. Scheduling never affects task
+// results — only wall clock — so the governor is free to react to the
+// host's actual behaviour (CPU steal, imbalanced stages) rather than a
+// static width.
+//
+// It also keeps an exponentially-weighted mean duration per stage kind,
+// the per-stage throughput signal surfaced through the metrics
+// counters.
+type Governor struct {
+	// Min and Max bound the issue width (inclusive).
+	Min, Max int
+
+	mu       sync.Mutex
+	width    int
+	dir      int
+	lastRate float64
+	stageNs  map[string]float64
+}
+
+// NewGovernor returns a governor bounded to [min, max], starting at
+// max (the static watermark behaviour) and probing downward first —
+// shrinking is the safe direction when tasks are heavy.
+func NewGovernor(min, max int) *Governor {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &Governor{Min: min, Max: max, width: max, dir: -1, stageNs: map[string]float64{}}
+}
+
+// Width returns the current issue width.
+func (g *Governor) Width() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.width
+}
+
+// ObserveWindow reports one drain window: completed tasks and the wall
+// clock they took. The width moves one step per window: onward while
+// the rate improves, back when it degrades (classic hill climbing with
+// a 2% tolerance so noise does not thrash the width).
+func (g *Governor) ObserveWindow(completed int, elapsed time.Duration) {
+	if completed <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(completed) / elapsed.Seconds()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.lastRate > 0 && rate < g.lastRate*0.98 {
+		g.dir = -g.dir
+	}
+	g.lastRate = rate
+	g.width += g.dir
+	if g.width < g.Min {
+		g.width, g.dir = g.Min, 1
+	}
+	if g.width > g.Max {
+		g.width, g.dir = g.Max, -1
+	}
+}
+
+// ObserveTask folds one task's duration into its stage's mean
+// (EWMA, α = 1/4).
+func (g *Governor) ObserveTask(stage string, d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	prev, ok := g.stageNs[stage]
+	if !ok {
+		g.stageNs[stage] = float64(d.Nanoseconds())
+		return
+	}
+	g.stageNs[stage] = prev + (float64(d.Nanoseconds())-prev)/4
+}
+
+// StageMeanNs returns the smoothed mean duration of a stage kind in
+// nanoseconds (0 when the stage has not completed yet).
+func (g *Governor) StageMeanNs(stage string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stageNs[stage]
+}

@@ -1,0 +1,114 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is one stage of a sweep graph: a pure function of its canonical
+// configuration and the outputs of its dependencies.
+type Task struct {
+	// Stage names the stage kind ("realize-dataset", "pretrain",
+	// "train-checkpoint", "evaluate", …); it is part of the content
+	// address, so two stage kinds with coincidentally equal configs
+	// cannot alias.
+	Stage string
+	// Canon is the canonical serialization of the stage's full
+	// configuration. Every knob that can change the output must be
+	// written into it — the content address is only as honest as the
+	// canon.
+	Canon *Canon
+	// Deps lists the upstream stage keys whose outputs Run consumes, in
+	// the order Run receives them.
+	Deps []Key
+	// Run computes the stage output. deps holds the dependency outputs
+	// in Deps order; they are shared with other consumers and must be
+	// treated as read-only.
+	Run func(deps []any) (any, error)
+	// Spill marks the output for disk persistence when the cache has a
+	// spill directory (the output type must be gob-encodable and
+	// registered via Register).
+	Spill bool
+	// Ephemeral marks a heavy in-process hand-off (e.g. a trained model
+	// checkpoint): the output is never stored in the stage cache, and
+	// once every dependent in the running graph has consumed it the
+	// scheduler drops it and calls Release. Sinks are never dropped.
+	Ephemeral bool
+	// Release, if set, frees an ephemeral output when it is dropped.
+	Release func(v any)
+}
+
+type node struct {
+	task       Task
+	key        Key
+	canon      []byte
+	dependents []Key
+}
+
+// Graph is a dependency-explicit sweep: tasks added dependency-first,
+// deduplicated by content address. Because a task can only depend on
+// keys already present, the graph is acyclic by construction.
+type Graph struct {
+	nodes map[Key]*node
+	order []Key // insertion order, for stable iteration
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return &Graph{nodes: map[Key]*node{}} }
+
+// Add inserts a task and returns its content address. Dependencies
+// must already be in the graph. Adding a task whose key is already
+// present is a no-op returning the existing key when stage and canon
+// match — the idiom that lets every cell add its shared prefix stages
+// and have them deduplicate — and an error when they differ (a hash
+// collision or a canonicalisation bug).
+func (g *Graph) Add(t Task) (Key, error) {
+	canon := t.Canon.Bytes()
+	k := StageKey(t.Stage, canon, t.Deps...)
+	if ex, ok := g.nodes[k]; ok {
+		if ex.task.Stage != t.Stage || string(ex.canon) != string(canon) {
+			return Key{}, fmt.Errorf("%w: key %s (stage %q vs %q)", ErrKeyCollision, k, ex.task.Stage, t.Stage)
+		}
+		return k, nil
+	}
+	if t.Run == nil {
+		return Key{}, fmt.Errorf("orchestrator: stage %q has no Run", t.Stage)
+	}
+	for _, d := range t.Deps {
+		if _, ok := g.nodes[d]; !ok {
+			return Key{}, fmt.Errorf("orchestrator: stage %q depends on unknown key %s (add dependencies first)", t.Stage, d)
+		}
+	}
+	g.nodes[k] = &node{task: t, key: k, canon: append([]byte(nil), canon...)}
+	g.order = append(g.order, k)
+	for _, d := range t.Deps {
+		g.nodes[d].dependents = append(g.nodes[d].dependents, k)
+	}
+	return k, nil
+}
+
+// MustAdd is Add for graph builders whose canon is statically correct;
+// it panics on the errors Add reports (unknown dep, collision).
+func (g *Graph) MustAdd(t Task) Key {
+	k, err := g.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Len returns the number of distinct stages in the graph.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Sinks returns the keys of stages no other stage depends on — the
+// sweep's requested outputs — in deterministic key order.
+func (g *Graph) Sinks() []Key {
+	var out []Key
+	for _, k := range g.order {
+		if len(g.nodes[k].dependents) == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

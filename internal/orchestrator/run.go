@@ -1,0 +1,318 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"emstdp/internal/engine"
+	"emstdp/internal/metrics"
+	"emstdp/internal/stream"
+)
+
+// Config wires a Run to its execution resources. The zero value is
+// usable: GOMAXPROCS workers, default watermarks, no cache, no
+// governor, no counters.
+type Config struct {
+	// Pool supplies the worker width (nil selects engine.NewPool(0),
+	// i.e. GOMAXPROCS).
+	Pool *engine.Pool
+	// Cache memoizes non-ephemeral stage outputs across runs; nil runs
+	// without memoization (within-run sharing still happens through the
+	// graph's content-address dedup).
+	Cache *Cache
+	// WM bounds the number of tasks in flight with the same low/high
+	// hysteresis stream.Channel applies to samples: issue until High are
+	// in flight, then wait for the drain back to Low before refilling.
+	// The zero value selects stream.DefaultWatermarks.
+	WM stream.Watermarks
+	// Governor, if set, retunes the issue width within [Governor.Min,
+	// Governor.Max] (clamped to WM.High) from realized throughput.
+	Governor *Governor
+	// Counters, if set, receives the run's observability counters under
+	// "orchestrator." names.
+	Counters *metrics.Counters
+}
+
+// issued is one task handed to a worker: the closure plus its resolved
+// dependency outputs.
+type issued struct {
+	key  Key
+	deps []any
+	run  func(deps []any) (any, error)
+}
+
+type taskResult struct {
+	key Key
+	val any
+	err error
+	dur time.Duration
+}
+
+func clampWidth(w, lo, hi int) int {
+	if w < lo {
+		return lo
+	}
+	if w > hi {
+		return hi
+	}
+	return w
+}
+
+// Run executes the graph and returns the sink outputs by key.
+//
+// Demand is resolved backwards from the sinks: a stage whose output is
+// already in the cache is served from it, and its entire ancestry is
+// pruned — the mechanism that makes a warm rerun compute nothing. The
+// remaining stages are issued to the worker pool in deterministic key
+// order under watermark hysteresis, outputs are stored back into the
+// cache (spilling to disk when marked), and ephemeral outputs are
+// dropped — with Release called — as soon as their last dependent
+// completes. Because tasks are pure and dependency outputs are treated
+// as read-only, the returned values are independent of pool width,
+// watermark settings, governor behaviour and cache state.
+//
+// On failure Run drains the tasks already in flight and reports the
+// failed stage with the smallest key, so the surfaced error is
+// deterministic for a deterministic set of failures.
+func Run(g *Graph, cfg Config) (map[Key]any, error) {
+	sinks := g.Sinks()
+	ctr := cfg.Counters
+	ctr.Add("orchestrator.runs", 1)
+	ctr.Set("orchestrator.stages", int64(g.Len()))
+
+	// Demand resolution: walk backwards from the sinks, stopping at
+	// cache hits.
+	need := map[Key]bool{}
+	results := map[Key]any{}
+	var visit func(k Key) error
+	visit = func(k Key) error {
+		if need[k] {
+			return nil
+		}
+		if _, ok := results[k]; ok {
+			return nil
+		}
+		n := g.nodes[k]
+		if !n.task.Ephemeral && cfg.Cache != nil {
+			v, ok, err := cfg.Cache.Get(k, n.canon)
+			if err != nil {
+				return err
+			}
+			if ok {
+				results[k] = v
+				return nil
+			}
+		}
+		need[k] = true
+		for _, d := range n.task.Deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range sinks {
+		if err := visit(s); err != nil {
+			return nil, err
+		}
+	}
+	ctr.Set("orchestrator.resolved", int64(len(results)))
+	ctr.Set("orchestrator.pruned", int64(g.Len()-len(need)-len(results)))
+
+	// Dependency bookkeeping restricted to the needed subgraph.
+	remaining := map[Key]int{}
+	dependents := map[Key][]Key{}
+	for k := range need {
+		for _, d := range g.nodes[k].task.Deps {
+			if need[d] {
+				remaining[k]++
+				dependents[d] = append(dependents[d], k)
+			}
+		}
+	}
+	refcnt := map[Key]int{}
+	for k := range need {
+		if g.nodes[k].task.Ephemeral {
+			refcnt[k] = len(dependents[k])
+		}
+	}
+	sinkSet := map[Key]bool{}
+	for _, s := range sinks {
+		sinkSet[s] = true
+	}
+
+	// Ready set, kept sorted so issuance order is a pure function of the
+	// graph contents.
+	var ready []Key
+	pushReady := func(k Key) {
+		i := sort.Search(len(ready), func(i int) bool { return k.Less(ready[i]) })
+		ready = append(ready, Key{})
+		copy(ready[i+1:], ready[i:])
+		ready[i] = k
+	}
+	for k := range need {
+		if remaining[k] == 0 {
+			pushReady(k)
+		}
+	}
+
+	wm := cfg.WM
+	if wm.High < 1 {
+		wm = stream.DefaultWatermarks()
+	}
+	if wm.Low < 0 {
+		wm.Low = 0
+	}
+	if wm.Low >= wm.High {
+		wm.Low = wm.High - 1
+	}
+	width := wm.High
+	if cfg.Governor != nil {
+		width = clampWidth(cfg.Governor.Width(), 1, wm.High)
+	}
+	ctr.Set("orchestrator.width", int64(width))
+
+	pool := cfg.Pool
+	if pool == nil {
+		pool = engine.NewPool(0)
+	}
+	workers := pool.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// inflight never exceeds width <= wm.High, so both channels hold
+	// every outstanding item and no send below can block.
+	taskCh := make(chan issued, wm.High)
+	resCh := make(chan taskResult, wm.High)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range taskCh {
+				t0 := time.Now()
+				v, err := t.run(t.deps)
+				resCh <- taskResult{key: t.key, val: v, err: err, dur: time.Since(t0)}
+			}
+		}()
+	}
+	defer close(taskCh)
+
+	inflight := 0
+	gated := false
+	failed := false
+	var failures []taskResult
+	var windowStart time.Time
+	windowDone := 0
+
+	issue := func() {
+		for !failed && !gated && len(ready) > 0 && inflight < width {
+			k := ready[0]
+			ready = ready[1:]
+			n := g.nodes[k]
+			deps := make([]any, len(n.task.Deps))
+			for i, d := range n.task.Deps {
+				deps[i] = results[d]
+			}
+			taskCh <- issued{key: k, deps: deps, run: n.task.Run}
+			inflight++
+			ctr.Add("orchestrator.issued", 1)
+			if inflight >= width {
+				gated = true
+				windowStart = time.Now()
+				windowDone = 0
+				ctr.Add("orchestrator.stalls", 1)
+			}
+		}
+	}
+
+	complete := func(r taskResult) {
+		n := g.nodes[r.key]
+		if cfg.Governor != nil {
+			cfg.Governor.ObserveTask(n.task.Stage, r.dur)
+		}
+		ctr.Add("orchestrator.completed", 1)
+		if !n.task.Ephemeral && cfg.Cache != nil {
+			if err := cfg.Cache.Put(r.key, n.canon, r.val, n.task.Spill); err != nil {
+				failed = true
+				failures = append(failures, taskResult{key: r.key, err: err})
+			}
+		}
+		results[r.key] = r.val
+		for _, dk := range dependents[r.key] {
+			remaining[dk]--
+			if remaining[dk] == 0 {
+				pushReady(dk)
+			}
+		}
+		for _, d := range n.task.Deps {
+			dn := g.nodes[d]
+			if !dn.task.Ephemeral || !need[d] {
+				continue
+			}
+			refcnt[d]--
+			if refcnt[d] == 0 && !sinkSet[d] {
+				v := results[d]
+				delete(results, d)
+				if dn.task.Release != nil {
+					dn.task.Release(v)
+				}
+				ctr.Add("orchestrator.released", 1)
+			}
+		}
+	}
+
+	issue()
+	for inflight > 0 {
+		r := <-resCh
+		inflight--
+		if r.err != nil {
+			failed = true
+			failures = append(failures, r)
+		} else {
+			complete(r)
+		}
+		if gated {
+			windowDone++
+			if inflight <= wm.Low {
+				gated = false
+				if cfg.Governor != nil {
+					cfg.Governor.ObserveWindow(windowDone, time.Since(windowStart))
+					width = clampWidth(cfg.Governor.Width(), 1, wm.High)
+				}
+				ctr.Set("orchestrator.width", int64(width))
+				ctr.Add("orchestrator.refills", 1)
+			}
+		}
+		issue()
+	}
+
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats()
+		ctr.Set("orchestrator.cache.hits", st.Hits)
+		ctr.Set("orchestrator.cache.misses", st.Misses)
+		ctr.Set("orchestrator.cache.spills", st.Spills)
+		ctr.Set("orchestrator.cache.loads", st.Loads)
+	}
+
+	if failed {
+		// Release any ephemeral outputs stranded by the failure.
+		for k, v := range results {
+			n := g.nodes[k]
+			if n.task.Ephemeral && refcnt[k] > 0 && !sinkSet[k] {
+				delete(results, k)
+				if n.task.Release != nil {
+					n.task.Release(v)
+				}
+			}
+		}
+		sort.Slice(failures, func(i, j int) bool { return failures[i].key.Less(failures[j].key) })
+		f := failures[0]
+		return nil, fmt.Errorf("orchestrator: stage %q (%s): %w", g.nodes[f.key].task.Stage, f.key, f.err)
+	}
+
+	out := make(map[Key]any, len(sinks))
+	for _, s := range sinks {
+		out[s] = results[s]
+	}
+	return out, nil
+}

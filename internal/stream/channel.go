@@ -57,6 +57,19 @@ type Stats struct {
 	StalledNs int64
 }
 
+// Publish writes the counters into reg as "<prefix>.produced",
+// "<prefix>.consumed", "<prefix>.dropped", "<prefix>.stalls" and
+// "<prefix>.stalled_ns". Values are set (not accumulated), so
+// re-publishing a later snapshot of the same channel overwrites rather
+// than double-counts; a nil registry is a no-op.
+func (s Stats) Publish(reg *metrics.Counters, prefix string) {
+	reg.Set(prefix+".produced", s.Produced)
+	reg.Set(prefix+".consumed", s.Consumed)
+	reg.Set(prefix+".dropped", s.Dropped)
+	reg.Set(prefix+".stalls", s.Stalls)
+	reg.Set(prefix+".stalled_ns", s.StalledNs)
+}
+
 // Add accumulates other's counters into s (aggregating across epochs or
 // pipeline stages).
 func (s *Stats) Add(other Stats) {
@@ -220,4 +233,14 @@ func (c *Channel) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// Publish snapshots the channel's counters plus its watermark
+// configuration ("<prefix>.wm_low", "<prefix>.wm_high") into reg — one
+// registry holding every backpressure signal the orchestrator's
+// issue-depth decisions are based on.
+func (c *Channel) Publish(reg *metrics.Counters, prefix string) {
+	c.Stats().Publish(reg, prefix)
+	reg.Set(prefix+".wm_low", int64(c.wm.Low))
+	reg.Set(prefix+".wm_high", int64(c.wm.High))
 }
