@@ -67,6 +67,17 @@ type Result struct {
 	// backpressure counters for streamed rows.
 	StreamStalls    int64 `json:"stream_stalls,omitempty"`
 	StreamStalledNs int64 `json:"stream_stalled_ns,omitempty"`
+	// Topology / Chips label a mesh-traffic row's NoC fabric and die
+	// count; MeshSpikes / MeshHops / MeshStalls / MeshMaxLinkLoad are the
+	// cross-die traffic counters its deployment accumulated — messages
+	// leaving their source die, XY-routed link traversals, modeled
+	// congestion stall cycles and the per-step link-load high-water mark.
+	Topology        string `json:"topology,omitempty"`
+	Chips           int    `json:"chips,omitempty"`
+	MeshSpikes      int64  `json:"mesh_spikes,omitempty"`
+	MeshHops        int64  `json:"mesh_hops,omitempty"`
+	MeshStalls      int64  `json:"mesh_stalls,omitempty"`
+	MeshMaxLinkLoad int64  `json:"mesh_max_link_load,omitempty"`
 }
 
 // liveHeap forces a collection and returns the live heap size.
@@ -200,7 +211,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "emstdp-bench/v6",
+		Schema:     "emstdp-bench/v7",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Dataset:    dataset.MNIST.String(),
@@ -504,6 +515,43 @@ func main() {
 	}
 	rep.Results = append(rep.Results, rSweepFlat, rSweepCold, rSweepWarm)
 	rep.SweepSpeedup = rSweepFlat.NsPerOp / rSweepWarm.NsPerOp
+
+	// Multi-die NoC traffic: the same cell on the chip backend sharded
+	// over four dies under the range strategy, once per fabric topology.
+	// Results are bit-identical across fabrics (the conformance suites
+	// pin placement and routing as traffic-only); what the rows record is
+	// the traffic story that distinguishes them — messages, XY-routed hop
+	// traversals, congestion stalls and the link-load high-water mark.
+	const meshDies = 4
+	meshTrainN := *trainN
+	if meshTrainN > 100 {
+		meshTrainN = 100 // the traffic counters saturate their story quickly
+	}
+	for _, topoName := range []string{"line", "mesh", "torus"} {
+		var mm *core.Model
+		el := bestOf(func() time.Duration {
+			mm = build(1, 1, func(o *core.Options) {
+				o.Backend = core.Chip
+				o.Chips = meshDies
+				o.PartitionStrategy = "range"
+				o.Topology = topoName
+				o.TrainSamples = meshTrainN
+			})
+			start := time.Now()
+			mm.Train(1)
+			return time.Since(start)
+		})
+		r := mkResult("mesh_traffic_"+topoName, 1, 1, meshTrainN, el)
+		r.Protocol = "online"
+		r.Topology = topoName
+		r.Chips = meshDies
+		if mesh := mm.ChipNetwork().Mesh(); mesh != nil {
+			tr := mesh.Traffic()
+			r.MeshSpikes, r.MeshHops = tr.CrossDieSpikes, tr.SpikeHops
+			r.MeshStalls, r.MeshMaxLinkLoad = tr.StallCycles, tr.MaxLinkLoad
+		}
+		rep.Results = append(rep.Results, r)
+	}
 
 	rep.TrainSpeedup = rTrainSeq.NsPerOp / rTrainPar.NsPerOp
 	rep.PipelineSpeedup = rTrainSeq.NsPerOp / rTrainPipe.NsPerOp

@@ -11,13 +11,13 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden file from the current schema")
 
-// goldenReport builds a fully-populated v6 report with fixed synthetic
+// goldenReport builds a fully-populated v7 report with fixed synthetic
 // values: every field the emitter can write appears once, so the golden
 // file pins the complete wire schema — field names, JSON key order,
 // omitempty behaviour — not any measured number.
 func goldenReport() Report {
 	return Report{
-		Schema:     "emstdp-bench/v6",
+		Schema:     "emstdp-bench/v7",
 		GoMaxProcs: 2,
 		NumCPU:     2,
 		Dataset:    "MNIST",
@@ -67,6 +67,12 @@ func goldenReport() Report {
 				Name: "sweep_orchestrated", Workers: 2, Batch: 1, Samples: 12,
 				NsPerOp: 1000000, SamplesPerSec: 1000,
 			},
+			{
+				Name: "mesh_traffic_torus", Workers: 1, Batch: 1, Samples: 100,
+				NsPerOp: 2000000, SamplesPerSec: 500, Protocol: "online",
+				Topology: "torus", Chips: 4,
+				MeshSpikes: 12000, MeshHops: 18000, MeshStalls: 250, MeshMaxLinkLoad: 96,
+			},
 		},
 		TrainSpeedup:      2.0,
 		PipelineSpeedup:   1.6667,
@@ -92,7 +98,7 @@ func TestBenchSchemaGolden(t *testing.T) {
 	}
 	got = append(got, '\n')
 
-	path := filepath.Join("testdata", "bench_v6_golden.json")
+	path := filepath.Join("testdata", "bench_v7_golden.json")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -119,7 +125,8 @@ func TestBenchSchemaOmitsEmptyOptionals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"accuracy", "protocol", "kernel", "pipeline", "window", "heap_bytes", "stream_stalls", "stream_stalled_ns"} {
+	for _, key := range []string{"accuracy", "protocol", "kernel", "pipeline", "window", "heap_bytes", "stream_stalls", "stream_stalled_ns",
+		"topology", "chips", "mesh_spikes", "mesh_hops", "mesh_stalls", "mesh_max_link_load"} {
 		if bytes.Contains(b, []byte(`"`+key+`"`)) {
 			t.Fatalf("zero-valued optional %q leaked into the wire format: %s", key, b)
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"emstdp/internal/experiments"
+	"emstdp/internal/loihi"
 	"emstdp/internal/mapping"
 	"emstdp/internal/metrics"
 	"emstdp/internal/orchestrator"
@@ -46,7 +47,8 @@ func main() {
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = the paper's online protocol)")
 	pipeline := flag.Int("pipeline", 0, "two-phase training pipeline depth (0/1 = strictly online; D>=2 overlaps D samples at update lag D-1)")
 	chips := flag.String("chips", "1", "comma-separated die counts the fig3 grid sweeps (e.g. 1,2,4)")
-	partition := flag.String("partition", "population", "multi-die sharding strategy: population or range")
+	partition := flag.String("partition", "population", "multi-die sharding strategy: population, range or traffic")
+	topology := flag.String("topology", "line", "multi-die NoC topology: line, mesh or torus")
 	fig3csv := flag.String("fig3csv", "", "also write the fig3 grid as CSV to this path")
 	streamFlag := flag.Bool("stream", false, "train through the streaming ingestion pipeline (shuffle window + bounded channel)")
 	window := flag.Int("window", 0, "shuffle-window size for -stream (0 = default)")
@@ -82,6 +84,11 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Partition = *partition
+	if _, err := loihi.ParseTopologyKind(*topology); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.Topology = *topology
 	sc.Stream = *streamFlag
 	sc.Window = *window
 	sc.AsyncEval = *asyncEval

@@ -92,6 +92,11 @@ type Config struct {
 	Chips int
 	// Partition selects the multi-die sharding strategy (Chips > 1).
 	Partition mapping.Strategy
+	// Topology arranges the dies on the board's NoC (Chips > 1): line
+	// (the zero value), 2-D mesh or torus, with optional explicit radix
+	// and link bandwidth. Topology changes traffic, link occupancy and
+	// modeled latency only — never simulation results.
+	Topology loihi.Topology
 	// HW gives the per-die chip limits.
 	HW loihi.HardwareConfig
 }
@@ -262,7 +267,11 @@ func newCommon(cfg Config) (*Network, error) {
 			return nil, err
 		}
 		n.part = part
-		n.mesh = loihi.NewMesh(cfg.HW, cfg.Chips)
+		mesh, err := loihi.NewMeshTopology(cfg.HW, cfg.Chips, cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		n.mesh = mesh
 		n.fab = n.mesh
 	} else {
 		n.chip = loihi.New(cfg.HW)
@@ -275,8 +284,11 @@ func newCommon(cfg Config) (*Network, error) {
 }
 
 // place maps a population onto the next free cores — of the single die,
-// or of the dies the partitioner chose.
-func (n *Network) place(p *loihi.Population, perCore int) error {
+// or of the dies the partitioner chose. peers declares the
+// already-placed populations this one is heavily connected to, which
+// only the traffic-aware partition strategy reads (the other strategies
+// and the single-die path ignore it).
+func (n *Network) place(p *loihi.Population, perCore int, peers ...string) error {
 	if n.mesh != nil {
 		// Mirror the single-die validation: the partitioner would clamp
 		// an over-limit packing silently, but the same Config must
@@ -288,7 +300,7 @@ func (n *Network) place(p *loihi.Population, perCore int) error {
 			return fmt.Errorf("loihi: perCore %d exceeds compartments/core limit %d",
 				perCore, n.cfg.HW.MaxCompartmentsPerCore)
 		}
-		pl, err := n.part.Assign(p.Name, p.N, perCore, 0)
+		pl, err := n.part.AssignConnected(p.Name, p.N, perCore, 0, peers)
 		if err != nil {
 			return err
 		}
@@ -349,7 +361,7 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 		p := loihi.NewPopulation(fmt.Sprintf("fwd%d", i), loihi.PopulationConfig{
 			N: sizes[i], Theta: cfg.Theta, VMin: -cfg.Theta,
 		})
-		if err := n.place(p, cfg.NeuronsPerCore); err != nil {
+		if err := n.place(p, cfg.NeuronsPerCore, prev.Name); err != nil {
 			return err
 		}
 		g := loihi.NewSynapseGroup(fmt.Sprintf("W%d", i), prev, p, 0)
@@ -379,11 +391,13 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 		return nil
 	}
 
-	// Label neurons and phase control.
+	// Label neurons and phase control. The label only feeds the (not
+	// yet placed) loss layer, which itself sits next to the forward
+	// output — so the forward output is the label's declared affinity.
 	n.label = loihi.NewPopulation("label", loihi.PopulationConfig{
 		N: out, Theta: cfg.Theta, VMin: 0,
 	})
-	if err := n.place(n.label, cfg.NeuronsPerCore); err != nil {
+	if err := n.place(n.label, cfg.NeuronsPerCore, fwdOut.Name); err != nil {
 		return err
 	}
 	n.phase = loihi.NewPopulation("phase", loihi.PopulationConfig{
@@ -400,7 +414,7 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 	n.errOutPos = loihi.NewPopulation("errOut+", errCfg)
 	n.errOutNeg = loihi.NewPopulation("errOut-", errCfg)
 	for _, p := range []*loihi.Population{n.errOutPos, n.errOutNeg} {
-		if err := n.place(p, cfg.NeuronsPerCore); err != nil {
+		if err := n.place(p, cfg.NeuronsPerCore, n.label.Name, fwdOut.Name); err != nil {
 			return err
 		}
 		p.SetPhaseGate(n.phase)
@@ -463,7 +477,7 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 		relayPos = loihi.NewPopulation("relay+", relayCfg)
 		relayNeg = loihi.NewPopulation("relay-", relayCfg)
 		for _, p := range []*loihi.Population{relayPos, relayNeg} {
-			if err := n.place(p, cfg.NeuronsPerCore); err != nil {
+			if err := n.place(p, cfg.NeuronsPerCore, n.errOutPos.Name, n.errOutNeg.Name); err != nil {
 				return err
 			}
 			p.SetPhaseGate(n.phase)
@@ -499,7 +513,8 @@ func (n *Network) buildDense(pre *loihi.Population) error {
 				N: size, Theta: cfg.ThetaErr, VMin: -cfg.ThetaErr,
 				Gated: cfg.GateHidden, GateLo: 1, GateHi: cfg.T - 1,
 			})
-			if err := n.place(p, cfg.NeuronsPerCore); err != nil {
+			if err := n.place(p, cfg.NeuronsPerCore,
+				n.fwd[i].Name, srcPos.Name, srcNeg.Name); err != nil {
 				return nil, err
 			}
 			if cfg.GateHidden {

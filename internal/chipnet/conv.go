@@ -41,7 +41,7 @@ func (n *Network) buildConv(cs *ann.ConvStack, inC, inH, inW int) error {
 	c1 := loihi.NewPopulation("conv1", loihi.PopulationConfig{
 		N: cs.Conv1.OutSize(), Theta: cfg.Theta, VMin: -cfg.Theta,
 	})
-	if err := n.place(c1, cfg.ConvPerCore); err != nil {
+	if err := n.place(c1, cfg.ConvPerCore, img.Name); err != nil {
 		return err
 	}
 	// Balancing: input rates are raw pixels (A0 = 1), so conv1's spiking
@@ -53,7 +53,7 @@ func (n *Network) buildConv(cs *ann.ConvStack, inC, inH, inW int) error {
 	c2 := loihi.NewPopulation("conv2", loihi.PopulationConfig{
 		N: cs.Conv2.OutSize(), Theta: cfg.Theta, VMin: -cfg.Theta,
 	})
-	if err := n.place(c2, cfg.ConvPerCore); err != nil {
+	if err := n.place(c2, cfg.ConvPerCore, c1.Name); err != nil {
 		return err
 	}
 	// conv2 inputs arrive as rates act1/A1, so weights scale by A1/A2.

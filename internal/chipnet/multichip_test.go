@@ -6,6 +6,7 @@ import (
 
 	"emstdp/internal/emstdp"
 	"emstdp/internal/engine"
+	"emstdp/internal/loihi"
 	"emstdp/internal/mapping"
 	"emstdp/internal/metrics"
 	"emstdp/internal/rng"
@@ -14,14 +15,18 @@ import (
 // conformanceNet builds the acceptance-criterion network — a 256-wide
 // hidden layer over 64 input features and 10 classes — on the given die
 // count and partition strategy (dies == 1 ignores the strategy and
-// returns a plain single-die network).
-func conformanceNet(t testing.TB, dies int, strategy mapping.Strategy, mode emstdp.FeedbackMode) *Network {
+// returns a plain single-die network). An optional topology overrides
+// the default line fabric.
+func conformanceNet(t testing.TB, dies int, strategy mapping.Strategy, mode emstdp.FeedbackMode, topo ...loihi.Topology) *Network {
 	t.Helper()
 	cfg := DefaultConfig(64, 256, 10)
 	cfg.Seed = 7
 	cfg.Mode = mode
 	cfg.Chips = dies
 	cfg.Partition = strategy
+	if len(topo) > 0 {
+		cfg.Topology = topo[0]
+	}
 	net, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -64,28 +69,39 @@ func assertWeightsEqual(t *testing.T, ref, got *Network, label string) {
 }
 
 // TestMultiChipConformance is the table-driven conformance harness: the
-// same network trained and evaluated on 1 die vs 2 and 4 dies under
-// both partition strategies must produce bit-identical weights, spike
-// counts, predictions and deterministic (aggregated) activity counters.
+// same network trained and evaluated on 1 die vs 2 and 4 dies, over the
+// full partition-strategy × NoC-topology matrix, must produce
+// bit-identical weights, spike counts, predictions and deterministic
+// (aggregated) activity counters — placement and routing change traffic
+// only, never results.
 func TestMultiChipConformance(t *testing.T) {
 	const trainN, testN = 30, 10
 	ref := conformanceNet(t, 1, mapping.StrategyPopulation, emstdp.DFA)
 	refPreds, refCounts := driveConformance(ref, trainN, testN)
 	refCounters := ref.Counters()
 
-	cases := []struct {
+	var cases []struct {
 		dies     int
 		strategy mapping.Strategy
-	}{
-		{2, mapping.StrategyPopulation},
-		{2, mapping.StrategyRange},
-		{4, mapping.StrategyPopulation},
-		{4, mapping.StrategyRange},
+		topo     loihi.TopologyKind
+	}
+	for _, dies := range []int{2, 4} {
+		for _, strategy := range []mapping.Strategy{
+			mapping.StrategyPopulation, mapping.StrategyRange, mapping.StrategyTraffic,
+		} {
+			for _, topo := range []loihi.TopologyKind{loihi.TopoLine, loihi.TopoMesh, loihi.TopoTorus} {
+				cases = append(cases, struct {
+					dies     int
+					strategy mapping.Strategy
+					topo     loihi.TopologyKind
+				}{dies, strategy, topo})
+			}
+		}
 	}
 	for _, tc := range cases {
-		name := fmt.Sprintf("dies=%d/%v", tc.dies, tc.strategy)
+		name := fmt.Sprintf("dies=%d/%v/%v", tc.dies, tc.strategy, tc.topo)
 		t.Run(name, func(t *testing.T) {
-			net := conformanceNet(t, tc.dies, tc.strategy, emstdp.DFA)
+			net := conformanceNet(t, tc.dies, tc.strategy, emstdp.DFA, loihi.Topology{Kind: tc.topo})
 			if err := net.PartitionPlan().Validate(); err != nil {
 				t.Fatalf("partition invalid: %v", err)
 			}
@@ -134,6 +150,58 @@ func TestMultiChipConformance(t *testing.T) {
 				t.Fatalf("traffic accounting: %d hops < %d messages", tr.SpikeHops, tr.CrossDieSpikes)
 			}
 		})
+	}
+}
+
+// TestMultiChipTrafficStrategy pins the point of the traffic-aware
+// partitioner: on the standard conformance netlist it must move strictly
+// fewer cross-die spikes than the range strategy, while still producing
+// the bit-identical results the conformance harness already pins.
+func TestMultiChipTrafficStrategy(t *testing.T) {
+	const trainN, testN = 15, 6
+	ranged := conformanceNet(t, 4, mapping.StrategyRange, emstdp.DFA)
+	affine := conformanceNet(t, 4, mapping.StrategyTraffic, emstdp.DFA)
+	driveConformance(ranged, trainN, testN)
+	driveConformance(affine, trainN, testN)
+	rt := (&MultiChip{Network: ranged}).Traffic()
+	at := (&MultiChip{Network: affine}).Traffic()
+	if at.CrossDieSpikes >= rt.CrossDieSpikes {
+		t.Fatalf("traffic strategy moved %d cross-die spikes, range %d — want strictly fewer",
+			at.CrossDieSpikes, rt.CrossDieSpikes)
+	}
+}
+
+// TestMultiChipMeshLinkDeterminism pins the per-link occupancy counters:
+// repeated identical runs and a replica rebuilt through Network.Clone
+// accumulate exactly the same load on every directed link.
+func TestMultiChipMeshLinkDeterminism(t *testing.T) {
+	const trainN, testN = 10, 4
+	topo := loihi.Topology{Kind: loihi.TopoMesh}
+	run := func(net *Network) []int64 {
+		driveConformance(net, trainN, testN)
+		return net.Mesh().LinkLoads()
+	}
+	first := run(conformanceNet(t, 4, mapping.StrategyRange, emstdp.DFA, topo))
+	var nonzero int64
+	for _, v := range first {
+		nonzero += v
+	}
+	if nonzero == 0 {
+		t.Fatal("range-partitioned 4-die board accumulated no link load")
+	}
+	again := run(conformanceNet(t, 4, mapping.StrategyRange, emstdp.DFA, topo))
+
+	base := conformanceNet(t, 4, mapping.StrategyRange, emstdp.DFA, topo)
+	clone, err := base.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned := run(clone)
+	for l := range first {
+		if first[l] != again[l] || first[l] != cloned[l] {
+			t.Fatalf("link %d load diverges: run %d, rerun %d, clone %d",
+				l, first[l], again[l], cloned[l])
+		}
 	}
 }
 

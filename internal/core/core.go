@@ -24,6 +24,7 @@ import (
 	"emstdp/internal/dataset"
 	"emstdp/internal/emstdp"
 	"emstdp/internal/engine"
+	"emstdp/internal/loihi"
 	"emstdp/internal/mapping"
 	"emstdp/internal/metrics"
 	"emstdp/internal/rng"
@@ -80,10 +81,17 @@ type Options struct {
 	// mesh traffic.
 	Chips int
 	// PartitionStrategy names the multi-die sharding strategy:
-	// "population" (default; whole populations, least-loaded die) or
-	// "range" (every population split across all dies). Chip backend
-	// with Chips > 1 only.
+	// "population" (default; whole populations, least-loaded die),
+	// "range" (every population split across all dies) or "traffic"
+	// (whole populations co-located with their declared peers to cut
+	// cross-die spikes). Chip backend with Chips > 1 only.
 	PartitionStrategy string
+	// Topology names the multi-die board's NoC arrangement: "line"
+	// (default), "mesh" or "torus", with automatic radix
+	// factorisation. Topology changes traffic, link occupancy and
+	// modeled latency only — never results. Chip backend with
+	// Chips > 1 only.
+	Topology string
 	// ConvOnChip additionally maps the frozen conv stack as spiking
 	// populations (chip backend only). When false, conv features are
 	// computed off-chip and programmed as input biases; accuracy is
@@ -268,6 +276,11 @@ func (m *Model) buildBackend() error {
 			return fmt.Errorf("core: %w", err)
 		}
 		cfg.Partition = strategy
+		kind, err := loihi.ParseTopologyKind(opts.Topology)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		cfg.Topology = loihi.Topology{Kind: kind}
 		if opts.ConvOnChip {
 			m.chip, err = chipnet.NewWithConv(cfg, m.Conv, m.DS.C, m.DS.H, m.DS.W)
 		} else {

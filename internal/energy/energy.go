@@ -50,9 +50,14 @@ type LoihiModel struct {
 	// EnergyPerMeshSpike is the serialisation/deserialisation energy of
 	// one spike message leaving its die over the inter-chip fabric (J).
 	EnergyPerMeshSpike float64
-	// EnergyPerHop is the per-hop link traversal energy of a cross-die
-	// spike message on the 1-D board (J).
+	// EnergyPerHop is the per-link traversal energy of a cross-die
+	// spike message on the board's NoC (J); the hop counter already
+	// reflects the topology's XY route lengths.
 	EnergyPerHop float64
+	// StallCycleTime is the added wall-clock of one modeled NoC
+	// congestion stall cycle (s): a message queued behind a link's
+	// per-step bandwidth waits one router cycle.
+	StallCycleTime float64
 }
 
 // DefaultLoihi returns coefficients calibrated against Table II and
@@ -71,6 +76,7 @@ func DefaultLoihi() LoihiModel {
 		EnergyPerLearnOp:    10e-12,
 		EnergyPerMeshSpike:  1e-9,
 		EnergyPerHop:        400e-12,
+		StallCycleTime:      10e-9,
 	}
 }
 
@@ -87,6 +93,10 @@ type LoihiReport struct {
 	// MeshEnergyJ is the inter-die fabric's share of EnergyJ (zero on a
 	// single die).
 	MeshEnergyJ float64
+	// MeshStallSeconds is the congestion share of TimeSeconds: modeled
+	// NoC stall cycles × StallCycleTime (zero while every link stays
+	// under its per-step bandwidth).
+	MeshStallSeconds float64
 }
 
 // Analyze converts simulator activity counters plus the chip occupancy
@@ -117,7 +127,8 @@ func (m LoihiModel) AnalyzeMesh(c loihi.Counters, t loihi.MeshTraffic, coresUsed
 	if train {
 		overhead = m.SampleOverheadTrain
 	}
-	total := float64(c.Steps)*stepTime + float64(nSamples)*overhead
+	stallSeconds := float64(t.StallCycles) * m.StallCycleTime
+	total := float64(c.Steps)*stepTime + float64(nSamples)*overhead + stallSeconds
 
 	staticPower := m.PowerBase + m.PowerPerCore*float64(coresUsed)
 	dynamicEnergy := float64(c.SynapticEvents)*m.EnergyPerSynEvent +
@@ -133,6 +144,7 @@ func (m LoihiModel) AnalyzeMesh(c loihi.Counters, t loihi.MeshTraffic, coresUsed
 		CoresUsed:         coresUsed,
 		MaxNeuronsPerCore: maxNeuronsPerCore,
 		MeshEnergyJ:       meshEnergy,
+		MeshStallSeconds:  stallSeconds,
 	}
 	if total > 0 {
 		rep.PowerWatts = energy / total

@@ -56,8 +56,12 @@ type Scale struct {
 	// netlist across a lock-step mesh and report inter-die traffic.
 	Chips []int
 	// Partition names the sharding strategy for multi-die grid cells
-	// ("population" or "range"; "" = population).
+	// ("population", "range" or "traffic"; "" = population).
 	Partition string
+	// Topology names the NoC arrangement of multi-die grid cells
+	// ("line", "mesh" or "torus"; "" = line). Changes the traffic and
+	// latency columns only — cell results are topology-invariant.
+	Topology string
 	// PerCore lists the neurons-per-core packings Fig 3 sweeps (nil =
 	// the paper's 5,10,…,30).
 	PerCore []int
@@ -349,13 +353,15 @@ type Fig3Point struct {
 	Mode            emstdp.FeedbackMode
 	Chips           int
 	Partition       string
+	Topology        string
 	NeuronsPerCore  int
 	Cores           int
 	TimeFor10k      float64 // seconds to train 10000 samples
 	PowerWatts      float64
 	EnergyPerSample float64 // J
-	// Inter-die traffic of the measured region (zero on one die).
-	MeshSpikes, MeshHops int64
+	// Inter-die traffic of the measured region (zero on one die):
+	// messages, routed link traversals and modeled congestion stalls.
+	MeshSpikes, MeshHops, MeshStalls int64
 	// MeshEnergyPerSample is the fabric's share of EnergyPerSample (J).
 	MeshEnergyPerSample float64
 }
@@ -422,6 +428,7 @@ func fig3Options(sc Scale, seed uint64, p fig3PointSpec) core.Options {
 		NeuronsPerCore:    p.per,
 		Chips:             p.chips,
 		PartitionStrategy: sc.Partition,
+		Topology:          sc.Topology,
 		TrainSamples:      maxInt(sc.EnergySamples, 10),
 		TestSamples:       10,
 		PretrainEpochs:    1,
@@ -445,10 +452,12 @@ func fig3Measure(m *core.Model, sc Scale, p fig3PointSpec) Fig3Point {
 	}
 	rep := model.AnalyzeMesh(net.Counters(), traffic, net.CoresUsed(), net.MaxPlasticNeuronsPerCore(), sc.EnergySamples, true)
 	strategy, _ := mapping.ParseStrategy(sc.Partition)
+	kind, _ := loihi.ParseTopologyKind(sc.Topology)
 	return Fig3Point{
 		Mode:                p.mode,
 		Chips:               p.chips,
 		Partition:           strategy.String(),
+		Topology:            kind.String(),
 		NeuronsPerCore:      p.per,
 		Cores:               rep.CoresUsed,
 		TimeFor10k:          rep.TimeSeconds / float64(sc.EnergySamples) * 10000,
@@ -456,6 +465,7 @@ func fig3Measure(m *core.Model, sc Scale, p fig3PointSpec) Fig3Point {
 		EnergyPerSample:     rep.EnergyPerSampleJ,
 		MeshSpikes:          traffic.CrossDieSpikes,
 		MeshHops:            traffic.SpikeHops,
+		MeshStalls:          traffic.StallCycles,
 		MeshEnergyPerSample: rep.MeshEnergyJ / float64(maxInt(sc.EnergySamples, 1)),
 	}
 }
@@ -477,7 +487,7 @@ func PrintFig3(w io.Writer, points []Fig3Point) {
 // Fig3CSVHeader is the stable machine-readable schema of the Fig-3
 // grid. The golden-file test pins it: changing, reordering or removing
 // a column is a deliberate, test-visible act.
-const Fig3CSVHeader = "mode,chips,partition,neurons_per_core,cores,time_s_per_10k,power_w,energy_mj_per_sample,mesh_spikes,mesh_hops,mesh_energy_mj_per_sample"
+const Fig3CSVHeader = "mode,chips,partition,topology,neurons_per_core,cores,time_s_per_10k,power_w,energy_mj_per_sample,mesh_spikes,mesh_hops,mesh_stall_cycles,mesh_energy_mj_per_sample"
 
 // WriteFig3CSV emits the sweep in the committed CSV schema.
 func WriteFig3CSV(w io.Writer, points []Fig3Point) error {
@@ -485,10 +495,10 @@ func WriteFig3CSV(w io.Writer, points []Fig3Point) error {
 		return err
 	}
 	for _, p := range points {
-		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%d,%.6g,%.6g,%.6g,%d,%d,%.6g\n",
-			p.Mode, p.Chips, p.Partition, p.NeuronsPerCore, p.Cores,
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%d,%d,%.6g,%.6g,%.6g,%d,%d,%d,%.6g\n",
+			p.Mode, p.Chips, p.Partition, p.Topology, p.NeuronsPerCore, p.Cores,
 			p.TimeFor10k, p.PowerWatts, p.EnergyPerSample*1e3,
-			p.MeshSpikes, p.MeshHops, p.MeshEnergyPerSample*1e3); err != nil {
+			p.MeshSpikes, p.MeshHops, p.MeshStalls, p.MeshEnergyPerSample*1e3); err != nil {
 			return err
 		}
 	}

@@ -213,6 +213,7 @@ func fig3Graph(sc Scale, seed uint64) ([]Fig3Point, error) {
 				Int("chips", int64(p.chips)).
 				Int("per_core", int64(p.per)).
 				Str("partition", sc.Partition).
+				Str("topology", sc.Topology).
 				Int("energy_samples", int64(sc.EnergySamples)),
 			Deps: []orchestrator.Key{pre},
 			Run: func(deps []any) (any, error) {

@@ -7,10 +7,15 @@ import (
 )
 
 // buildStepBench wires the paper's 200→100→10 dense training shape with
-// bias-driven inputs at roughly the rate-coded activity level.
-func buildStepBench(tb testing.TB) *Chip {
+// bias-driven inputs at roughly the rate-coded activity level. An
+// optional preset delivery mode is selected BEFORE any group is
+// connected — SetDelivery must persist and apply to later connections.
+func buildStepBench(tb testing.TB, preset ...DeliveryMode) *Chip {
 	tb.Helper()
 	chip := New(DefaultHardware())
+	if len(preset) > 0 {
+		chip.SetDelivery(preset[0])
+	}
 	in := NewPopulation("in", PopulationConfig{N: 200, Theta: 256, VMin: -256})
 	hid := NewPopulation("hid", PopulationConfig{N: 100, Theta: 256, VMin: -256})
 	out := NewPopulation("out", PopulationConfig{N: 10, Theta: 256, VMin: -256})
@@ -39,10 +44,12 @@ func buildStepBench(tb testing.TB) *Chip {
 	return chip
 }
 
-// TestDeliveryKernelsBitIdentical steps three identical chips — the
-// reference dense scan, the active-index list walk, and the packed
-// word-traversal default — and compares every membrane, spike vector
-// and counter each step.
+// TestDeliveryKernelsBitIdentical steps identical chips across every
+// kernel — the reference dense scan, the active-index list walk, and
+// the packed word-traversal default — and, for each kernel, both call
+// orders (SetDelivery after all Connects, and SetDelivery on the empty
+// chip before any Connect), comparing every membrane, spike vector and
+// counter each step.
 func TestDeliveryKernelsBitIdentical(t *testing.T) {
 	dense := buildStepBench(t)
 	list := buildStepBench(t)
@@ -50,28 +57,78 @@ func TestDeliveryKernelsBitIdentical(t *testing.T) {
 	dense.SetDelivery(DeliveryDense)
 	list.SetDelivery(DeliveryList)
 	packed.SetDelivery(DeliveryPacked)
+	// Set-then-connect ordering: the persisted mode must produce the
+	// same run as selecting it after wiring.
+	chips := []*Chip{
+		dense, list, packed,
+		buildStepBench(t, DeliveryDense),
+		buildStepBench(t, DeliveryList),
+		buildStepBench(t, DeliveryPacked),
+	}
 	for step := 0; step < 256; step++ {
-		dense.Step()
-		list.Step()
-		packed.Step()
+		for _, c := range chips {
+			c.Step()
+		}
 		for pi := range dense.pops {
-			dp, lp, pp := dense.pops[pi].p, list.pops[pi].p, packed.pops[pi].p
-			for i := 0; i < dp.N; i++ {
-				if dp.Potential(i) != lp.Potential(i) || dp.Potential(i) != pp.Potential(i) {
-					t.Fatalf("step %d pop %s compartment %d: dense v=%d list v=%d packed v=%d",
-						step, dp.Name, i, dp.Potential(i), lp.Potential(i), pp.Potential(i))
-				}
-				if dp.Spikes()[i] != lp.Spikes()[i] || dp.Spikes()[i] != pp.Spikes()[i] {
-					t.Fatalf("step %d pop %s compartment %d: spike mismatch", step, dp.Name, i)
+			dp := dense.pops[pi].p
+			for _, c := range chips[1:] {
+				cp := c.pops[pi].p
+				for i := 0; i < dp.N; i++ {
+					if dp.Potential(i) != cp.Potential(i) {
+						t.Fatalf("step %d pop %s compartment %d: dense v=%d other v=%d",
+							step, dp.Name, i, dp.Potential(i), cp.Potential(i))
+					}
+					if dp.Spikes()[i] != cp.Spikes()[i] {
+						t.Fatalf("step %d pop %s compartment %d: spike mismatch", step, dp.Name, i)
+					}
 				}
 			}
 		}
 	}
-	if d, l := dense.Counters(), list.Counters(); d != l {
-		t.Fatalf("counters diverge:\ndense %+v\nlist  %+v", d, l)
+	for i, c := range chips[1:] {
+		if d, o := dense.Counters(), c.Counters(); d != o {
+			t.Fatalf("counters diverge (chip %d):\ndense %+v\nother %+v", i+1, d, o)
+		}
 	}
-	if d, p := dense.Counters(), packed.Counters(); d != p {
-		t.Fatalf("counters diverge:\ndense  %+v\npacked %+v", d, p)
+}
+
+// TestMeshDeliverySetThenConnect pins the order-independence contract
+// directly: a delivery mode selected before any group exists is applied
+// to groups connected afterwards, on both a single chip and a mesh.
+func TestMeshDeliverySetThenConnect(t *testing.T) {
+	chip := New(DefaultHardware())
+	chip.SetDelivery(DeliveryDense)
+	a := NewPopulation("a", PopulationConfig{N: 4, Theta: 16, VMin: 0})
+	b := NewPopulation("b", PopulationConfig{N: 4, Theta: 16, VMin: 0})
+	for i, p := range []*Population{a, b} {
+		if err := chip.AddPopulation(p, i*2, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := NewSynapseGroup("ab", a, b, 0)
+	if err := chip.Connect(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.delivery != DeliveryDense {
+		t.Fatalf("chip group connected after SetDelivery runs %v, want %v", g.delivery, DeliveryDense)
+	}
+
+	mesh := mustMesh(t, 2)
+	mesh.SetDelivery(DeliveryList)
+	c := NewPopulation("c", PopulationConfig{N: 4, Theta: 16, VMin: 0})
+	d := NewPopulation("d", PopulationConfig{N: 4, Theta: 16, VMin: 0})
+	if err := mesh.AddPopulation(c, 0, 0, 4, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.AddPopulation(d, 1, 0, 4, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sg := NewDiagonalGroup("cd", c, d, 1, 0)
+	if err := mesh.Connect(sg); err != nil {
+		t.Fatal(err)
+	}
+	if sg.delivery != DeliveryList {
+		t.Fatalf("mesh group connected after SetDelivery runs %v, want %v", sg.delivery, DeliveryList)
 	}
 }
 

@@ -105,6 +105,11 @@ type Chip struct {
 
 	counters Counters
 
+	// delivery is the persisted kernel selection, applied to groups
+	// connected after SetDelivery so the call is order-independent.
+	delivery    DeliveryMode
+	deliverySet bool
+
 	// OnStep, when non-nil, runs at the end of every Step — the probe
 	// point for spike-raster recording and other diagnostics.
 	OnStep func()
@@ -223,6 +228,9 @@ func (c *Chip) connectRange(g Connector, lo, hi int, chargeFanIn, tracePre bool)
 	if lo != 0 || hi != post.N {
 		g.prepareRange(lo, hi)
 	}
+	if c.deliverySet {
+		g.setDelivery(c.delivery)
+	}
 	c.groups = append(c.groups, connEntry{g: g, lo: lo, hi: hi, tracePre: tracePre})
 	return nil
 }
@@ -281,8 +289,11 @@ func (c *Chip) ResetCounters() { c.counters = Counters{} }
 // word traversal (the default), active-index list, or the reference
 // dense scan. All three are bit-identical by construction; this hook
 // exists so the equivalence tests can prove it end to end and the
-// benchmarks can attribute the per-kernel cost.
+// benchmarks can attribute the per-kernel cost. The mode persists on
+// the chip and applies to groups connected afterwards, so SetDelivery
+// and Connect commute.
 func (c *Chip) SetDelivery(m DeliveryMode) {
+	c.delivery, c.deliverySet = m, true
 	for _, e := range c.groups {
 		e.g.setDelivery(m)
 	}

@@ -20,18 +20,37 @@ import "fmt"
 // same netlist on one large die: weights, spike counts, predictions and
 // the aggregated activity counters all match exactly.
 //
-// Traffic model: dies sit on a 1-D board; a spike whose source neuron
-// lives on die s and whose fan-out reaches synapses on die d != s is one
-// cross-die message multicast per destination die, costing |s-d| hops.
-// Messages and hops accumulate in MeshTraffic for the energy model.
+// Traffic model: dies sit on a Topology (line, 2-D mesh or torus); a
+// spike whose source neuron lives on die s and whose fan-out reaches
+// synapses on die d != s is one cross-die message multicast per
+// destination die. Each message expands into its deterministic XY-routed
+// link path; messages, per-link hop traversals and congestion stalls
+// (per-step link load beyond the link bandwidth) accumulate in
+// MeshTraffic for the energy/latency model. On the default line
+// topology the hop count reduces to the 1-D distance |s-d| exactly.
 type Mesh struct {
 	chips []*Chip
+	topo  Topology
 
 	pops     []*meshPop
 	groups   []*meshGroup
 	popIndex map[*Population]*meshPop
 
 	traffic MeshTraffic
+	// linkLoad is the cumulative per-directed-link message count;
+	// stepLoad and touched are the per-step scratch (touched lists the
+	// links with nonzero stepLoad so a step only visits links it used).
+	linkLoad []int64
+	stepLoad []int64
+	touched  []int32
+	// routes lazily caches the XY link path per (src,dst) die pair,
+	// indexed src*dies+dst.
+	routes [][]int32
+
+	// delivery is the persisted kernel selection, applied to groups
+	// connected after SetDelivery so the call is order-independent.
+	delivery    DeliveryMode
+	deliverySet bool
 
 	// OnStep, when non-nil, runs at the end of every mesh step — the
 	// multi-die analogue of Chip.OnStep.
@@ -44,15 +63,28 @@ type MeshTraffic struct {
 	// source die (one message per destination die that stores synapses
 	// of the spiking neuron, multicast within a die).
 	CrossDieSpikes int64
-	// SpikeHops is the total hop count: Σ over cross-die messages of the
-	// 1-D die distance |source - destination|.
+	// SpikeHops is the total hop count: Σ over cross-die messages of
+	// the XY route length from source to destination die (on a line
+	// topology, the 1-D distance |source - destination|).
 	SpikeHops int64
+	// StallCycles models NoC congestion: Σ over steps and links of the
+	// per-step load exceeding the link bandwidth. Zero while every
+	// link stays under its per-step capacity.
+	StallCycles int64
+	// MaxLinkLoad is the highest per-step load any single directed link
+	// saw — the congestion hot spot.
+	MaxLinkLoad int64
 }
 
-// Add accumulates other into t.
+// Add accumulates other into t (MaxLinkLoad takes the maximum — it is a
+// high-water mark, not a sum).
 func (t *MeshTraffic) Add(other MeshTraffic) {
 	t.CrossDieSpikes += other.CrossDieSpikes
 	t.SpikeHops += other.SpikeHops
+	t.StallCycles += other.StallCycles
+	if other.MaxLinkLoad > t.MaxLinkLoad {
+		t.MaxLinkLoad = other.MaxLinkLoad
+	}
 }
 
 // popShard records one die's slice of a population.
@@ -90,17 +122,37 @@ type meshGroup struct {
 }
 
 // NewMesh builds a board of `dies` empty chips with identical hardware
-// limits.
-func NewMesh(hw HardwareConfig, dies int) *Mesh {
+// limits on the default 1-D line fabric.
+func NewMesh(hw HardwareConfig, dies int) (*Mesh, error) {
+	return NewMeshTopology(hw, dies, Topology{Kind: TopoLine})
+}
+
+// NewMeshTopology builds a board of `dies` empty chips arranged on the
+// given NoC topology (normalised against the die count: zero radix
+// factorises automatically, zero bandwidth takes the default).
+func NewMeshTopology(hw HardwareConfig, dies int, topo Topology) (*Mesh, error) {
 	if dies < 1 {
-		panic(fmt.Sprintf("loihi: mesh needs at least one die, got %d", dies))
+		return nil, fmt.Errorf("loihi: mesh needs at least one die, got %d", dies)
 	}
-	m := &Mesh{popIndex: map[*Population]*meshPop{}}
+	norm, err := topo.Normalize(dies)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		topo:     norm,
+		popIndex: map[*Population]*meshPop{},
+		linkLoad: make([]int64, norm.numLinks()),
+		stepLoad: make([]int64, norm.numLinks()),
+		routes:   make([][]int32, dies*dies),
+	}
 	for i := 0; i < dies; i++ {
 		m.chips = append(m.chips, New(hw))
 	}
-	return m
+	return m, nil
 }
+
+// Topology returns the board's normalised NoC topology.
+func (m *Mesh) Topology() Topology { return m.topo }
 
 // NumDies returns the number of chips on the board.
 func (m *Mesh) NumDies() int { return len(m.chips) }
@@ -237,6 +289,9 @@ func (m *Mesh) Connect(g Connector) error {
 		mg.shards = append(mg.shards, connShard{Die: s.Die, Lo: s.Lo, Hi: s.Hi})
 		mpPre.subscribe(s.Die, len(m.chips), g, s.Lo, s.Hi)
 	}
+	if m.deliverySet {
+		g.setDelivery(m.delivery)
+	}
 	m.groups = append(m.groups, mg)
 	return nil
 }
@@ -269,7 +324,10 @@ func (m *Mesh) Step() {
 
 // accountTraffic counts the cross-die messages of the spikes about to be
 // delivered this step (the previous step's spike buffers): for each
-// spike, one message per remote die that its fan-out actually reaches.
+// spike, one message per remote die that its fan-out actually reaches,
+// expanded into the message's XY-routed link path. After routing, the
+// step's per-link load is folded into the cumulative occupancy counters
+// and compared against the link bandwidth for congestion stalls.
 func (m *Mesh) accountTraffic() {
 	if len(m.chips) == 1 {
 		return
@@ -291,18 +349,47 @@ func (m *Mesh) accountTraffic() {
 			for _, d := range mp.subDies {
 				if d != src && mp.reach[d][k] {
 					m.traffic.CrossDieSpikes++
-					m.traffic.SpikeHops += absInt64(int64(d - src))
+					path := m.routeOf(src, d)
+					m.traffic.SpikeHops += int64(len(path))
+					for _, l := range path {
+						if m.stepLoad[l] == 0 {
+							m.touched = append(m.touched, l)
+						}
+						m.stepLoad[l]++
+					}
 				}
 			}
 		}
 	}
+	if len(m.touched) == 0 {
+		return
+	}
+	bw := int64(m.topo.LinkBandwidth)
+	for _, l := range m.touched {
+		load := m.stepLoad[l]
+		m.stepLoad[l] = 0
+		m.linkLoad[l] += load
+		if load > m.traffic.MaxLinkLoad {
+			m.traffic.MaxLinkLoad = load
+		}
+		if load > bw {
+			m.traffic.StallCycles += load - bw
+		}
+	}
+	m.touched = m.touched[:0]
 }
 
-func absInt64(v int64) int64 {
-	if v < 0 {
-		return -v
+// routeOf returns the cached XY link path from die src to die dst,
+// computing it on first use (routes are cached lazily so huge boards
+// only pay for the pairs their netlist actually exercises).
+func (m *Mesh) routeOf(src, dst int) []int32 {
+	idx := src*len(m.chips) + dst
+	path := m.routes[idx]
+	if path == nil {
+		path = m.topo.route(src, dst, make([]int32, 0, m.topo.Hops(src, dst)))
+		m.routes[idx] = path
 	}
-	return v
+	return path
 }
 
 // Run advances n timesteps.
@@ -362,8 +449,11 @@ func (m *Mesh) LatchGates() {
 	}
 }
 
-// SetDelivery forwards the kernel-selection hook to every group.
+// SetDelivery selects every connector's spike-iteration kernel. The
+// mode persists on the mesh, so groups connected after the call pick it
+// up too — SetDelivery and Connect commute.
 func (m *Mesh) SetDelivery(dm DeliveryMode) {
+	m.delivery, m.deliverySet = dm, true
 	for _, mg := range m.groups {
 		mg.g.setDelivery(dm)
 	}
@@ -402,17 +492,31 @@ func (m *Mesh) Counters() Counters {
 	return agg
 }
 
-// ResetCounters zeroes every die's counters and the mesh traffic
-// counters (energy harnesses bracket measured regions this way).
+// ResetCounters zeroes every die's counters, the mesh traffic counters
+// and the per-link occupancy (energy harnesses bracket measured regions
+// this way).
 func (m *Mesh) ResetCounters() {
 	for _, c := range m.chips {
 		c.ResetCounters()
 	}
 	m.traffic = MeshTraffic{}
+	for i := range m.linkLoad {
+		m.linkLoad[i] = 0
+	}
 }
 
 // Traffic returns the accumulated inter-die traffic counters.
 func (m *Mesh) Traffic() MeshTraffic { return m.traffic }
+
+// LinkLoads returns a copy of the cumulative per-directed-link message
+// counts, indexed by link id (see Topology.LinkName). Deterministic for
+// a given netlist and drive sequence, which the conformance suite pins
+// across repeated runs and replica rebuilds.
+func (m *Mesh) LinkLoads() []int64 {
+	out := make([]int64, len(m.linkLoad))
+	copy(out, m.linkLoad)
+	return out
+}
 
 // ActiveCores returns the number of powered-on cores across all dies.
 func (m *Mesh) ActiveCores() int {

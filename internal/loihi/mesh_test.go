@@ -6,12 +6,33 @@ import (
 	"emstdp/internal/rng"
 )
 
+// mustMesh builds a line-topology board or fails the test.
+func mustMesh(tb testing.TB, dies int) *Mesh {
+	tb.Helper()
+	mesh, err := NewMesh(DefaultHardware(), dies)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return mesh
+}
+
 // buildPair wires the same 200→100→10 plastic netlist once on a single
 // chip and once sharded across a mesh (hidden layer split between two
-// dies), sharing nothing but the construction recipe.
-func buildMeshBench(tb testing.TB, dies int) (*Mesh, []*Population, []*SynapseGroup) {
+// dies), sharing nothing but the construction recipe. An optional
+// topology overrides the default line fabric (traffic model only —
+// results must not depend on it).
+func buildMeshBench(tb testing.TB, dies int, topo ...Topology) (*Mesh, []*Population, []*SynapseGroup) {
 	tb.Helper()
-	mesh := NewMesh(DefaultHardware(), dies)
+	var mesh *Mesh
+	var err error
+	if len(topo) > 0 {
+		mesh, err = NewMeshTopology(DefaultHardware(), dies, topo[0])
+	} else {
+		mesh, err = NewMesh(DefaultHardware(), dies)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
 	in := NewPopulation("in", PopulationConfig{N: 200, Theta: 256, VMin: -256})
 	hid := NewPopulation("hid", PopulationConfig{N: 100, Theta: 256, VMin: -256})
 	out := NewPopulation("out", PopulationConfig{N: 10, Theta: 256, VMin: -256})
@@ -108,7 +129,7 @@ func TestMeshBitIdenticalToChip(t *testing.T) {
 // consumed by synapse shards on two remote dies is two messages with
 // the right hop counts, while same-die consumption is free.
 func TestMeshTrafficMulticast(t *testing.T) {
-	mesh := NewMesh(DefaultHardware(), 3)
+	mesh := mustMesh(t, 3)
 	src := NewPopulation("src", PopulationConfig{N: 1, Theta: 16, VMin: 0})
 	near := NewPopulation("near", PopulationConfig{N: 1, Theta: 1 << 20, VMin: 0})
 	far := NewPopulation("far", PopulationConfig{N: 1, Theta: 1 << 20, VMin: 0})
@@ -142,7 +163,7 @@ func TestMeshTrafficMulticast(t *testing.T) {
 // bookkeeping: a very wide board registers and steps without panicking.
 func TestMeshManyDies(t *testing.T) {
 	const dies = 300
-	mesh := NewMesh(DefaultHardware(), dies)
+	mesh := mustMesh(t, dies)
 	src := NewPopulation("src", PopulationConfig{N: 1, Theta: 16, VMin: 0})
 	dst := NewPopulation("dst", PopulationConfig{N: 1, Theta: 1 << 20, VMin: 0})
 	if err := mesh.AddPopulation(src, 0, 0, 1, 0, 4); err != nil {
@@ -163,7 +184,7 @@ func TestMeshManyDies(t *testing.T) {
 
 // TestMeshRegistrationErrors pins the registration-time validation.
 func TestMeshRegistrationErrors(t *testing.T) {
-	mesh := NewMesh(DefaultHardware(), 2)
+	mesh := mustMesh(t, 2)
 	a := NewPopulation("a", PopulationConfig{N: 10, Theta: 16, VMin: 0})
 	b := NewPopulation("b", PopulationConfig{N: 10, Theta: 16, VMin: 0})
 	if err := mesh.AddPopulation(a, 5, 0, 10, 0, 4); err == nil {

@@ -32,6 +32,15 @@ const (
 	// i-th chunk). Maximises balance — every die hosts a slice of every
 	// layer — at the cost of mesh traffic.
 	StrategyRange
+	// StrategyTraffic keeps each population whole like
+	// StrategyPopulation, but chooses the die greedily by connectivity:
+	// the die already hosting the most neurons of the population's
+	// declared peers (AssignConnected), ties to the least-loaded then
+	// lowest index. Co-locating heavily-connected populations cuts
+	// cross-die spikes; with no peers declared it degrades to the
+	// least-loaded choice, and it spills across dies ascending exactly
+	// like StrategyPopulation when nothing fits whole.
+	StrategyTraffic
 )
 
 // String names the strategy for reports and CSV columns.
@@ -41,6 +50,8 @@ func (s Strategy) String() string {
 		return "population"
 	case StrategyRange:
 		return "range"
+	case StrategyTraffic:
+		return "traffic"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
@@ -52,8 +63,10 @@ func ParseStrategy(name string) (Strategy, error) {
 		return StrategyPopulation, nil
 	case "range", "split":
 		return StrategyRange, nil
+	case "traffic", "affinity":
+		return StrategyTraffic, nil
 	}
-	return 0, fmt.Errorf("mapping: unknown partition strategy %q (want population or range)", name)
+	return 0, fmt.Errorf("mapping: unknown partition strategy %q (want population, range or traffic)", name)
 }
 
 // Shard is one die's contiguous slice of a population.
@@ -97,7 +110,7 @@ func NewPartition(hw loihi.HardwareConfig, dies int, strategy Strategy) (*Partit
 	if dies < 1 {
 		return nil, fmt.Errorf("mapping: partition needs at least one die, got %d", dies)
 	}
-	if strategy != StrategyPopulation && strategy != StrategyRange {
+	if strategy != StrategyPopulation && strategy != StrategyRange && strategy != StrategyTraffic {
 		return nil, fmt.Errorf("mapping: unknown strategy %v", strategy)
 	}
 	return &Partition{HW: hw, Dies: dies, Strategy: strategy, nextCore: make([]int, dies)}, nil
@@ -129,6 +142,16 @@ func (pt *Partition) clampPerCore(perCore, fanIn int) int {
 // an error when the board runs out of cores or fanIn exceeds the
 // compartment limit.
 func (pt *Partition) Assign(name string, n, perCore, fanIn int) (*PopPlacement, error) {
+	return pt.AssignConnected(name, n, perCore, fanIn, nil)
+}
+
+// AssignConnected is Assign with a declared adjacency: peers names the
+// already-assigned populations this one is heavily connected to (fan-in
+// sources, injection targets). Only StrategyTraffic reads it — the
+// other strategies place identically with or without peers. A failed
+// call leaves the partition untouched: shards are staged against a
+// cursor copy and committed only on success, so no cores leak.
+func (pt *Partition) AssignConnected(name string, n, perCore, fanIn int, peers []string) (*PopPlacement, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mapping: population %q needs positive size, got %d", name, n)
 	}
@@ -140,50 +163,97 @@ func (pt *Partition) Assign(name string, n, perCore, fanIn int) (*PopPlacement, 
 	cores := (n + per - 1) / per
 
 	pl := PopPlacement{Name: name, N: n, PerCore: per, FanIn: fanIn}
+	cursor := append([]int(nil), pt.nextCore...)
 	var err error
 	switch pt.Strategy {
 	case StrategyRange:
-		err = pt.assignRange(&pl, cores)
+		err = pt.assignRange(&pl, cores, cursor)
+	case StrategyTraffic:
+		err = pt.assignTraffic(&pl, cores, cursor, peers)
 	default:
-		err = pt.assignPopulation(&pl, cores)
+		err = pt.assignPopulation(&pl, cores, cursor)
 	}
 	if err != nil {
 		return nil, err
 	}
+	copy(pt.nextCore, cursor)
 	pt.Pops = append(pt.Pops, pl)
 	return &pt.Pops[len(pt.Pops)-1], nil
 }
 
-// take carves `cores` cores off die d for neurons [lo,hi) of pl.
-func (pt *Partition) take(pl *PopPlacement, die, lo, hi, cores int) {
+// take carves `cores` cores off die d for neurons [lo,hi) of pl,
+// advancing the staged cursor (committed to pt.nextCore only when the
+// whole Assign succeeds).
+func (pt *Partition) take(pl *PopPlacement, cursor []int, die, lo, hi, cores int) {
 	pl.Shards = append(pl.Shards, Shard{
 		Die: die, Lo: lo, Hi: hi,
-		FirstCore: pt.nextCore[die], Cores: cores, PerCore: pl.PerCore,
+		FirstCore: cursor[die], Cores: cores, PerCore: pl.PerCore,
 	})
-	pt.nextCore[die] += cores
+	cursor[die] += cores
 }
 
 // assignPopulation places the population whole on the least-loaded die
 // with room, spilling across dies ascending when no single die can hold
 // it.
-func (pt *Partition) assignPopulation(pl *PopPlacement, cores int) error {
+func (pt *Partition) assignPopulation(pl *PopPlacement, cores int, cursor []int) error {
 	best := -1
 	for d := 0; d < pt.Dies; d++ {
-		if pt.nextCore[d]+cores > pt.HW.NumCores {
+		if cursor[d]+cores > pt.HW.NumCores {
 			continue
 		}
-		if best < 0 || pt.nextCore[d] < pt.nextCore[best] {
+		if best < 0 || cursor[d] < cursor[best] {
 			best = d
 		}
 	}
 	if best >= 0 {
-		pt.take(pl, best, 0, pl.N, cores)
+		pt.take(pl, cursor, best, 0, pl.N, cores)
 		return nil
 	}
-	// Spill: contiguous per-core-aligned ranges over dies ascending.
+	return pt.spill(pl, cursor)
+}
+
+// assignTraffic places the population whole on the die with the highest
+// connectivity affinity — the most neurons of the declared peers
+// already resident — among the dies with room; ties go to the
+// least-loaded die, then the lowest index. No declared peers (or peers
+// all elsewhere) degrades to the least-loaded choice; no die with room
+// spills across dies ascending like assignPopulation.
+func (pt *Partition) assignTraffic(pl *PopPlacement, cores int, cursor []int, peers []string) error {
+	affinity := make([]int, pt.Dies)
+	for _, name := range peers {
+		for i := range pt.Pops {
+			if pt.Pops[i].Name != name {
+				continue
+			}
+			for _, s := range pt.Pops[i].Shards {
+				affinity[s.Die] += s.Hi - s.Lo
+			}
+		}
+	}
+	best := -1
+	for d := 0; d < pt.Dies; d++ {
+		if cursor[d]+cores > pt.HW.NumCores {
+			continue
+		}
+		if best < 0 || affinity[d] > affinity[best] ||
+			(affinity[d] == affinity[best] && cursor[d] < cursor[best]) {
+			best = d
+		}
+	}
+	if best >= 0 {
+		pt.take(pl, cursor, best, 0, pl.N, cores)
+		return nil
+	}
+	return pt.spill(pl, cursor)
+}
+
+// spill scatters the population over dies ascending in contiguous
+// per-core-aligned ranges — the shared overflow path of the
+// whole-population strategies.
+func (pt *Partition) spill(pl *PopPlacement, cursor []int) error {
 	lo := 0
 	for d := 0; d < pt.Dies && lo < pl.N; d++ {
-		free := pt.HW.NumCores - pt.nextCore[d]
+		free := pt.HW.NumCores - cursor[d]
 		if free <= 0 {
 			continue
 		}
@@ -196,7 +266,7 @@ func (pt *Partition) assignPopulation(pl *PopPlacement, cores int) error {
 		if hi > pl.N {
 			hi = pl.N
 		}
-		pt.take(pl, d, lo, hi, c)
+		pt.take(pl, cursor, d, lo, hi, c)
 		lo = hi
 	}
 	if lo < pl.N {
@@ -209,7 +279,7 @@ func (pt *Partition) assignPopulation(pl *PopPlacement, cores int) error {
 // assignRange spreads the population's cores over all dies: die i takes
 // the i-th contiguous chunk, chunk sizes as equal as core granularity
 // allows (earlier dies take the remainder cores).
-func (pt *Partition) assignRange(pl *PopPlacement, cores int) error {
+func (pt *Partition) assignRange(pl *PopPlacement, cores int, cursor []int) error {
 	base, extra := cores/pt.Dies, cores%pt.Dies
 	lo := 0
 	for d := 0; d < pt.Dies && lo < pl.N; d++ {
@@ -220,15 +290,15 @@ func (pt *Partition) assignRange(pl *PopPlacement, cores int) error {
 		if c == 0 {
 			continue
 		}
-		if pt.nextCore[d]+c > pt.HW.NumCores {
+		if cursor[d]+c > pt.HW.NumCores {
 			return fmt.Errorf("mapping: out of cores placing %q chunk on die %d (need %d, %d free)",
-				pl.Name, d, c, pt.HW.NumCores-pt.nextCore[d])
+				pl.Name, d, c, pt.HW.NumCores-cursor[d])
 		}
 		hi := lo + c*pl.PerCore
 		if hi > pl.N {
 			hi = pl.N
 		}
-		pt.take(pl, d, lo, hi, c)
+		pt.take(pl, cursor, d, lo, hi, c)
 		lo = hi
 	}
 	if lo < pl.N {

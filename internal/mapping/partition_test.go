@@ -16,7 +16,13 @@ func assignAll(t testing.TB, dies int, strategy Strategy, pops [][3]int) (*Parti
 		t.Fatal(err)
 	}
 	for i, p := range pops {
-		if _, err := pt.Assign(popName(i), p[0], p[1], p[2]); err != nil {
+		// The traffic strategy additionally consumes declared adjacency:
+		// chain each pop to its predecessor so affinity placement runs.
+		var peers []string
+		if strategy == StrategyTraffic && i > 0 {
+			peers = []string{popName(i - 1)}
+		}
+		if _, err := pt.AssignConnected(popName(i), p[0], p[1], p[2], peers); err != nil {
 			return pt, err
 		}
 	}
@@ -42,13 +48,13 @@ func randomPops(r *rng.Source, n int) [][3]int {
 }
 
 // TestPartitionInvariantsRandomized is the randomized table harness:
-// many seeded netlist shapes, both strategies, several die counts —
+// many seeded netlist shapes, all three strategies, several die counts —
 // every accepted partition must satisfy the full invariant set
 // (exactly-once assignment, core/compartment/synapse capacities), and
 // replaying the same sequence must reproduce the identical partition.
 func TestPartitionInvariantsRandomized(t *testing.T) {
 	for _, dies := range []int{1, 2, 3, 4, 8} {
-		for _, strategy := range []Strategy{StrategyPopulation, StrategyRange} {
+		for _, strategy := range []Strategy{StrategyPopulation, StrategyRange, StrategyTraffic} {
 			for seed := uint64(1); seed <= 25; seed++ {
 				r := rng.New(seed * 977)
 				pops := randomPops(r, 1+int(seed)%12)
@@ -163,6 +169,108 @@ func TestPartitionStrategyShapes(t *testing.T) {
 	}
 }
 
+// TestPartitionAssignAtomic is the regression test for the staged-cursor
+// commit: a failed Assign — here the spill path running out of cores
+// after provisionally carving shards off several dies — must leave the
+// partition exactly as it was: no placement recorded, no cores leaked,
+// and subsequent placements land as if the failed call never happened.
+func TestPartitionAssignAtomic(t *testing.T) {
+	small := loihi.DefaultHardware()
+	small.NumCores = 4
+	pt, err := NewPartition(small, 2, StrategyPopulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Assign("a", 30, 10, 0); err != nil { // 3 cores on die 0
+		t.Fatal(err)
+	}
+	before := []int{pt.CoresUsed(0), pt.CoresUsed(1)}
+	pops := len(pt.Pops)
+
+	// 100 neurons at 10/core need 10 cores; the board has 5 free. The
+	// spill walks die 0 then die 1 before discovering it cannot finish.
+	if _, err := pt.Assign("b", 100, 10, 0); err == nil {
+		t.Fatal("expected out-of-cores error")
+	}
+	if got := []int{pt.CoresUsed(0), pt.CoresUsed(1)}; got[0] != before[0] || got[1] != before[1] {
+		t.Fatalf("failed Assign leaked cores: %v, want %v", got, before)
+	}
+	if len(pt.Pops) != pops {
+		t.Fatalf("failed Assign recorded a placement: %d pops, want %d", len(pt.Pops), pops)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatalf("partition invalid after failed Assign: %v", err)
+	}
+
+	// The next valid placement must be unaffected: 40 neurons fit die 1
+	// whole (die 0 has only 1 core free).
+	c, err := pt.Assign("c", 40, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Shards) != 1 || c.Shards[0].Die != 1 || c.Shards[0].FirstCore != 0 {
+		t.Fatalf("placement after failed Assign skewed: %+v", c.Shards)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionTrafficAffinity pins the traffic strategy's macro
+// behaviour: declared peers pull a population onto the peers' die even
+// when another die is emptier; without peers it degrades to the
+// least-loaded choice; and when the affine die has no room it falls to
+// the best remaining candidate.
+func TestPartitionTrafficAffinity(t *testing.T) {
+	hw := loihi.DefaultHardware()
+	pt, err := NewPartition(hw, 3, StrategyTraffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pt.AssignConnected("a", 100, 10, 0, nil)
+	if err != nil || a.Shards[0].Die != 0 {
+		t.Fatalf("first pop should land on die 0: %+v, %v", a.Shards, err)
+	}
+	// b declares a as a peer: co-locates on die 0 despite dies 1 and 2
+	// being empty.
+	b, err := pt.AssignConnected("b", 100, 10, 0, []string{"a"})
+	if err != nil || len(b.Shards) != 1 || b.Shards[0].Die != 0 {
+		t.Fatalf("peer-connected pop should co-locate on die 0: %+v, %v", b.Shards, err)
+	}
+	// c has no peers: least-loaded die (1).
+	c, err := pt.AssignConnected("c", 50, 10, 0, nil)
+	if err != nil || c.Shards[0].Die != 1 {
+		t.Fatalf("peerless pop should take the least-loaded die: %+v, %v", c.Shards, err)
+	}
+	// d is pulled to c's die over the empty die 2.
+	d, err := pt.AssignConnected("d", 50, 10, 0, []string{"c"})
+	if err != nil || d.Shards[0].Die != 1 {
+		t.Fatalf("peer-connected pop should follow its peer: %+v, %v", d.Shards, err)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Affinity yields to capacity: on a tiny board, a peer of "a" that no
+	// longer fits next to it takes the emptier die instead.
+	small := hw
+	small.NumCores = 4
+	pt2, err := NewPartition(small, 2, StrategyTraffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt2.AssignConnected("a", 30, 10, 0, nil); err != nil { // 3 of 4 cores on die 0
+		t.Fatal(err)
+	}
+	e, err := pt2.AssignConnected("e", 20, 10, 0, []string{"a"}) // needs 2 cores
+	if err != nil || e.Shards[0].Die != 1 {
+		t.Fatalf("full affine die should be skipped: %+v, %v", e.Shards, err)
+	}
+	if err := pt2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPartitionCapacityClamping pins the constraint arithmetic: fan-in
 // over the compartment limit is rejected, and synaptic memory clamps
 // the packing.
@@ -188,7 +296,7 @@ func TestPartitionCapacityClamping(t *testing.T) {
 	}
 }
 
-// FuzzPartition feeds arbitrary byte-derived netlist shapes to both
+// FuzzPartition feeds arbitrary byte-derived netlist shapes to all
 // strategies and asserts the invariant set on every accepted partition
 // — the Go-fuzzing half of the property harness.
 func FuzzPartition(f *testing.F) {
@@ -199,10 +307,7 @@ func FuzzPartition(f *testing.F) {
 		if dies < 1 || dies > 16 {
 			t.Skip()
 		}
-		strategy := StrategyPopulation
-		if strat%2 == 1 {
-			strategy = StrategyRange
-		}
+		strategy := []Strategy{StrategyPopulation, StrategyRange, StrategyTraffic}[strat%3]
 		r := rng.New(seed | 1)
 		pops := randomPops(r, 1+int(seed%10))
 		pt, err := assignAll(t, dies, strategy, pops)
