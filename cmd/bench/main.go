@@ -28,6 +28,7 @@ import (
 	"emstdp/internal/emstdp"
 	"emstdp/internal/experiments"
 	"emstdp/internal/orchestrator"
+	"emstdp/internal/trace"
 )
 
 // Result is one timed region.
@@ -157,9 +158,14 @@ func main() {
 	// correctness is proven by the engine conformance suite, not here.
 	seed := flag.Uint64("seed", 3, "model/dataset seed for every measured cell")
 	reps := flag.Int("reps", 3, "repetitions per timed region (fastest kept)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this JSON file (tracing never perturbs results, but it is extra work — don't trace a committed artifact run)")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
 	}
 
 	var backend core.Backend
@@ -194,6 +200,7 @@ func main() {
 			Workers:        w,
 			Batch:          b,
 			Seed:           *seed,
+			Trace:          tracer,
 		}
 		if mut != nil {
 			mut(&o)
@@ -462,6 +469,7 @@ func main() {
 	sweepScale := func() experiments.Scale {
 		sc := experiments.QuickScale()
 		sc.Workers = *workers
+		sc.Trace = tracer
 		return sc
 	}
 	var flatPts []experiments.Fig3Point
@@ -558,6 +566,24 @@ func main() {
 	rep.EvalSpeedup = rEvalSeq.NsPerOp / rEvalPar.NsPerOp
 	rep.StreamOverheadPct = (rTrainStream.NsPerOp - rTrainSeq.NsPerOp) / rTrainSeq.NsPerOp * 100
 	rep.AsyncEvalSavedPct = (tSync - tAsync).Seconds() / tSync.Seconds() * 100
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: creating trace file: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "bench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: closing trace file: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: trace written to %s (open at ui.perfetto.dev)\n", *traceOut)
+	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -5,11 +5,19 @@
 //	experiments -exp fig3            # Fig 3: neurons/core trade-off
 //	experiments -exp fig4            # Fig 4: incremental online learning
 //	experiments -exp all -scale full # everything at full scale
+//
+// Observability: -trace out.json records every layer (pool workers,
+// pipeline slots, orchestrator stages, stream channel, mesh phases) as
+// a Chrome/Perfetto trace; -pprof addr serves net/http/pprof plus the
+// live counters snapshot while the run is in flight.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -20,6 +28,7 @@ import (
 	"emstdp/internal/mapping"
 	"emstdp/internal/metrics"
 	"emstdp/internal/orchestrator"
+	"emstdp/internal/trace"
 )
 
 // parseChips turns a comma-separated die-count list ("1,2,4") into the
@@ -40,7 +49,7 @@ func parseChips(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig3, fig4, ablations, adaptation or all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, table2, fig3, fig4, ablations, adaptation or all")
 	scale := flag.String("scale", "quick", "run scale: quick or full")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 1, "engine pool width for sweep grids (1 = sequential, -1 = GOMAXPROCS)")
@@ -58,6 +67,8 @@ func main() {
 	issueLow := flag.Int("issue-low", 0, "orchestrator low watermark: refill the issue window once in-flight stages drain to this (0 = default)")
 	issueHigh := flag.Int("issue-high", 0, "orchestrator high watermark: maximum stages in flight (0 = default)")
 	governor := flag.Bool("governor", false, "adaptively retune the orchestrator issue width from realized stage throughput")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this JSON file (open at ui.perfetto.dev or chrome://tracing)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the live counters snapshot on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -104,6 +115,28 @@ func main() {
 		sc.Cache = orchestrator.NewCache(sc.CacheDir)
 		sc.Counters = metrics.NewCounters()
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+		sc.Trace = tracer
+	}
+	if *pprofAddr != "" {
+		if sc.Counters == nil {
+			sc.Counters = metrics.NewCounters()
+		}
+		ctr := sc.Counters
+		expvar.Publish("emstdp.counters", expvar.Func(func() any { return ctr.Snapshot() }))
+		http.HandleFunc("/debug/counters", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			ctr.WriteTo(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server on http://%s (/debug/pprof/, /debug/vars, /debug/counters)\n", *pprofAddr)
+	}
 
 	run := func(name string, f func() error) {
 		start := time.Now()
@@ -115,7 +148,25 @@ func main() {
 		fmt.Printf("-- %s done in %s --\n\n", name, time.Since(start).Round(time.Second))
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	// -exp accepts a comma-separated list so one invocation (and one
+	// trace file) can cover several experiments without running all six.
+	known := map[string]bool{"table1": true, "table2": true, "fig3": true, "fig4": true, "adaptation": true, "ablations": true}
+	selected := make(map[string]bool)
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			for k := range known {
+				selected[k] = true
+			}
+			continue
+		}
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		selected[name] = true
+	}
+	want := func(name string) bool { return selected[name] }
 
 	if want("table1") {
 		run("table1", func() error {
@@ -188,14 +239,28 @@ func main() {
 			return nil
 		})
 	}
-	if *exp != "all" && !want("table1") && !want("table2") && !want("fig3") && !want("fig4") && !want("ablations") && !want("adaptation") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	if sc.Counters != nil {
+	if sc.Counters != nil && len(sc.Counters.Names()) > 0 {
 		fmt.Println("orchestrator counters:")
-		for _, name := range sc.Counters.Names() {
-			fmt.Printf("  %-28s %d\n", name, sc.Counters.Get(name))
+		if _, err := sc.Counters.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "writing counters: %v\n", err)
+			os.Exit(1)
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating trace file: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing trace file: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open at ui.perfetto.dev)\n", *traceOut)
 	}
 }

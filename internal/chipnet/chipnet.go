@@ -33,6 +33,7 @@ import (
 	"emstdp/internal/loihi"
 	"emstdp/internal/mapping"
 	"emstdp/internal/rng"
+	"emstdp/internal/trace"
 )
 
 // Config parameterises the on-chip EMSTDP network. Scale-free parameters
@@ -99,6 +100,11 @@ type Config struct {
 	Topology loihi.Topology
 	// HW gives the per-die chip limits.
 	HW loihi.HardwareConfig
+	// Trace, when set, records the multi-die mesh's per-step sub-phase
+	// spans and per-link load counters onto the shared tracer (Chips > 1
+	// only; a single die has no fabric to time). Observation only —
+	// simulation results never depend on whether a tracer is attached.
+	Trace *trace.Tracer
 }
 
 // fabric is the execution substrate a Network runs on: one die
@@ -270,6 +276,9 @@ func newCommon(cfg Config) (*Network, error) {
 		mesh, err := loihi.NewMeshTopology(cfg.HW, cfg.Chips, cfg.Topology)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Trace != nil {
+			mesh.SetTracer(cfg.Trace)
 		}
 		n.mesh = mesh
 		n.fab = n.mesh

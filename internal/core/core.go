@@ -31,6 +31,7 @@ import (
 	"emstdp/internal/snn"
 	"emstdp/internal/stream"
 	"emstdp/internal/tensor"
+	"emstdp/internal/trace"
 )
 
 // Backend selects the execution substrate.
@@ -120,9 +121,10 @@ type Options struct {
 	// and applied in sample order — bounded-lag batch-1 — and the
 	// realized schedule depends on D alone, never on Workers. D = 2
 	// overlaps phase 1 of sample k+1 with phase 2 of sample k for ~2×
-	// online-training throughput. Takes precedence over Batch; ignored
-	// when Stream is set (the pipeline consumes a materialised epoch
-	// order).
+	// online-training throughput. Takes precedence over Batch. Composes
+	// with Stream: each epoch's order is realised through the streaming
+	// ingestion pipeline first, then trained with the bounded-lag
+	// schedule over that order.
 	Pipeline int
 	// Stream selects the streaming ingestion path for training: each
 	// epoch pulls the split through a stream.ShuffleWindow (a bounded
@@ -153,6 +155,15 @@ type Options struct {
 	Kernel string
 	// Seed drives every random choice (default 1).
 	Seed uint64
+	// Trace, when set, records the run's timeline onto the shared
+	// tracer: engine pool-worker chunk spans, pipeline slot/coordinator
+	// spans, streaming-channel watermark spans and the chip mesh's
+	// per-step sub-phase spans all land on its tracks (export with
+	// trace.Tracer.WriteChromeTrace). Purely observational — results
+	// are bit-identical with and without a tracer attached — and
+	// excluded from stage canonicalisation, so attaching one never
+	// invalidates sweep caches. Nil (the default) records nothing.
+	Trace *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +236,12 @@ type Model struct {
 	win         *stream.ShuffleWindow
 	streamEpoch uint64
 	streamStats stream.Stats
+	// stallHist and occHist are the streaming path's latency
+	// histograms: per-stall producer wait (ns) and shuffle-window
+	// occupancy at each emit. Built with the window on the first
+	// streamed epoch.
+	stallHist *metrics.Histogram
+	occHist   *metrics.Histogram
 }
 
 // Build generates the dataset, pretrains and calibrates the conv stack,
@@ -281,6 +298,7 @@ func (m *Model) buildBackend() error {
 			return fmt.Errorf("core: %w", err)
 		}
 		cfg.Topology = loihi.Topology{Kind: kind}
+		cfg.Trace = opts.Trace
 		if opts.ConvOnChip {
 			m.chip, err = chipnet.NewWithConv(cfg, m.Conv, m.DS.C, m.DS.H, m.DS.W)
 		} else {
@@ -388,6 +406,9 @@ func (m *Model) Runner() engine.Runner {
 func (m *Model) Group() *engine.Group {
 	if m.grp == nil {
 		m.grp = engine.NewGroup(m.Runner(), engine.NewPool(m.Opts.Workers))
+		if m.Opts.Trace != nil {
+			m.grp.SetTracer(m.Opts.Trace)
+		}
 	}
 	return m.grp
 }
@@ -493,9 +514,43 @@ func (m *Model) trainEpochStream() {
 		// A rebuild (RefreshFeatures) must not restart at epoch 0, or
 		// the next pass would replay an already-trained order.
 		m.win.SetEpoch(m.streamEpoch)
+		m.stallHist = &metrics.Histogram{}
+		m.occHist = &metrics.Histogram{}
+		m.win.SetOccupancyHistogram(m.occHist)
 	}
-	ch := stream.NewChannel(m.win, stream.DefaultWatermarks())
-	if _, err := m.Group().TrainStream(ch, m.Opts.Batch); err != nil {
+	ch := stream.NewChannelObserved(m.win, stream.DefaultWatermarks(), stream.Instrumentation{
+		Tracer:    m.Opts.Trace,
+		Name:      "channel",
+		StallHist: m.stallHist,
+	})
+	if m.Opts.Pipeline > 1 {
+		// Stream × Pipeline composition: realise this epoch's streamed
+		// order through the full ingestion pipeline (so the order, the
+		// window occupancy and the backpressure counters are identical
+		// to the unpipelined streamed epoch), then run the bounded-lag
+		// pipeline over the materialised order. The samples were already
+		// resident — the channel hands out references — so the buffer
+		// costs one slice of headers, not a copy of the data.
+		var samples []metrics.Sample
+		for {
+			s, ok := ch.Next()
+			if !ok {
+				break
+			}
+			samples = append(samples, s)
+		}
+		order := make([]int, len(samples))
+		for i := range order {
+			order[i] = i
+		}
+		if err := m.Group().TrainPipelined(samples, order, m.Opts.Pipeline); err != nil {
+			// Replica construction can only fail on backend config errors
+			// Build would already have surfaced; finish the epoch online.
+			for _, s := range samples {
+				m.TrainSample(s.X, s.Y)
+			}
+		}
+	} else if _, err := m.Group().TrainStream(ch, m.Opts.Batch); err != nil {
 		// Replica construction can only fail on backend config errors
 		// Build would already have surfaced; finish the epoch online
 		// rather than dropping it.
@@ -516,6 +571,24 @@ func (m *Model) trainEpochStream() {
 // StreamStats returns the cumulative ingestion counters accumulated by
 // streamed training epochs (zero unless Opts.Stream is set).
 func (m *Model) StreamStats() stream.Stats { return m.streamStats }
+
+// StallHistogram returns the streaming producer's per-stall latency
+// histogram (ns per watermark gate), nil until a streamed epoch ran.
+func (m *Model) StallHistogram() *metrics.Histogram { return m.stallHist }
+
+// OccupancyHistogram returns the shuffle window's occupancy-at-emit
+// histogram, nil until a streamed epoch ran.
+func (m *Model) OccupancyHistogram() *metrics.Histogram { return m.occHist }
+
+// PublishStreamMetrics writes the streaming path's counters and
+// histogram summaries into reg under prefix ("<prefix>.stalls",
+// "<prefix>.stall_ns.p99", "<prefix>.occupancy.p50", …). No-op before
+// the first streamed epoch or on a nil registry.
+func (m *Model) PublishStreamMetrics(reg *metrics.Counters, prefix string) {
+	m.streamStats.Publish(reg, prefix)
+	m.stallHist.Publish(reg, prefix+".stall_ns")
+	m.occHist.Publish(reg, prefix+".occupancy")
+}
 
 // Train runs the given number of epochs.
 func (m *Model) Train(epochs int) {

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"emstdp/internal/metrics"
+	"emstdp/internal/trace"
+)
+
+// assertSamePredictions compares two trained models sample by sample
+// over the test split — a bitwise trajectory check, not an accuracy
+// coincidence.
+func assertSamePredictions(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	if got, want := b.Evaluate().Accuracy(), a.Evaluate().Accuracy(); got != want {
+		t.Fatalf("%s: accuracy diverged under tracing: %v vs %v", label, got, want)
+	}
+	for i, s := range a.TestFeatures() {
+		if pa, pb := a.Predict(s.X), b.Predict(s.X); pa != pb {
+			t.Fatalf("%s: prediction %d diverged under tracing: %d vs %d", label, i, pa, pb)
+		}
+	}
+}
+
+// TestTraceDoesNotPerturbTraining pins the whole-stack observational
+// contract: a model trained with a live tracer (streamed, pipelined FP
+// path — pool, pipeline slots, channel and histograms all active) is
+// bit-identical to an untraced one.
+func TestTraceDoesNotPerturbTraining(t *testing.T) {
+	build := func(tr *trace.Tracer) *Model {
+		opts := smallOpts(FP)
+		opts.TrainSamples = 120
+		opts.TestSamples = 60
+		opts.Stream = true
+		opts.StreamWindow = 32
+		opts.Pipeline = 2
+		opts.Trace = tr
+		m, err := Build(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Train(1)
+		return m
+	}
+	plain := build(nil)
+	tr := trace.New()
+	traced := build(tr)
+	defer plain.Close()
+	defer traced.Close()
+
+	assertSamePredictions(t, "fp stream+pipeline", plain, traced)
+
+	events := 0
+	for _, tk := range tr.Tracks() {
+		events += tk.Len() + int(tk.Dropped())
+	}
+	if events == 0 {
+		t.Fatal("live tracer recorded nothing across a full training run")
+	}
+
+	// The stream histograms rode along: occupancy sees one observation
+	// per delivered sample, and the publishing surface exports them.
+	if hist := traced.OccupancyHistogram(); hist == nil || hist.Count() == 0 {
+		t.Fatal("streamed traced run produced no occupancy observations")
+	}
+	reg := metrics.NewCounters()
+	traced.PublishStreamMetrics(reg, "stream.train")
+	if reg.Get("stream.train.occupancy.count") == 0 {
+		t.Fatal("PublishStreamMetrics exported no occupancy count")
+	}
+}
+
+// TestTraceDoesNotPerturbChipTraining pins the same contract on the
+// multi-die chip path, where the mesh phase spans and link counters are
+// live during every timestep.
+func TestTraceDoesNotPerturbChipTraining(t *testing.T) {
+	build := func(tr *trace.Tracer) *Model {
+		opts := smallOpts(Chip)
+		opts.TrainSamples = 80
+		opts.TestSamples = 40
+		opts.Chips = 2
+		opts.Trace = tr
+		m, err := Build(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Train(1)
+		return m
+	}
+	plain := build(nil)
+	tr := trace.New()
+	traced := build(tr)
+	defer plain.Close()
+	defer traced.Close()
+
+	assertSamePredictions(t, "chip 2-die", plain, traced)
+	if pc, tc := plain.ChipNetwork().Counters(), traced.ChipNetwork().Counters(); pc != tc {
+		t.Fatalf("chip counters diverged under tracing:\nplain  %+v\ntraced %+v", pc, tc)
+	}
+
+	var meshEvents int
+	for _, tk := range tr.Tracks() {
+		if tk.Name() == "mesh-phase" || tk.Name() == "mesh-links" {
+			meshEvents += tk.Len() + int(tk.Dropped())
+		}
+	}
+	if meshEvents == 0 {
+		t.Fatal("multi-die traced run recorded no mesh events")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emstdp/internal/metrics"
+	"emstdp/internal/trace"
 )
 
 // Group binds a master Runner to a set of lazily-built replicas so
@@ -25,6 +26,9 @@ type Group struct {
 	// reusable update buffers) built by the first TrainPipelined call;
 	// see pipeline.go.
 	pipe *pipeline
+	// tracer feeds the pool's worker tracks and the pipeline's slot and
+	// coordinator tracks; nil means tracing off (the default).
+	tracer *trace.Tracer
 }
 
 // NewGroup wraps master for execution through pool.
@@ -33,6 +37,17 @@ func NewGroup(master Runner, pool *Pool) *Group {
 		pool = NewPool(1)
 	}
 	return &Group{pool: pool, master: master, replicas: []Runner{master}}
+}
+
+// SetTracer attaches tr to the group: pool workers record chunk spans
+// and any (re)built pipeline records slot pass spans plus coordinator
+// retire/apply/sync spans. Nil detaches. Call between training calls,
+// not during one; an existing pipeline is closed so its stage workers
+// relaunch with tracks on the next TrainPipelined.
+func (g *Group) SetTracer(tr *trace.Tracer) {
+	g.tracer = tr
+	g.pool.SetTracer(tr)
+	g.ClosePipeline()
 }
 
 // Master returns the authoritative runner.

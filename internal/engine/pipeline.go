@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emstdp/internal/metrics"
+	"emstdp/internal/trace"
 )
 
 // Pipelined two-phase training.
@@ -84,6 +85,14 @@ type pipeline struct {
 	done    []chan struct{}
 	updates []Update
 	quit    chan struct{}
+	// slots[s] is slot s's trace track ("pipeline-slot-s": one "pass"
+	// span per sample) and coord the coordinator's ("pipeline":
+	// retire-wait/apply/sync spans plus the "inflight" occupancy
+	// counter, whose dips below depth are the pipeline's bubbles). All
+	// nil when tracing is off — recording is the only effect, the
+	// schedule is fixed by (samples, order, depth) alone.
+	slots []*trace.Track
+	coord *trace.Track
 }
 
 // ensurePipeline builds (or rebuilds, on a depth change) the stage
@@ -104,10 +113,13 @@ func (g *Group) ensurePipeline(depth int) error {
 		done:    make([]chan struct{}, depth),
 		updates: make([]Update, depth),
 		quit:    make(chan struct{}),
+		slots:   make([]*trace.Track, depth),
+		coord:   g.tracer.Track("pipeline", 0),
 	}
 	for s := 0; s < depth; s++ {
 		p.work[s] = make(chan metrics.Sample)
 		p.done[s] = make(chan struct{})
+		p.slots[s] = g.tracer.Track(fmt.Sprintf("pipeline-slot-%d", s), 0)
 		go p.worker(s, g.replicas[1+s])
 	}
 	g.pipe = p
@@ -123,9 +135,11 @@ func (p *pipeline) worker(s int, r Runner) {
 		case <-p.quit:
 			return
 		case smp := <-p.work[s]:
+			start := p.slots[s].Begin()
 			r.ProgramSample(smp.X, smp.Y)
 			r.RunPhases(true)
 			p.updates[s] = captureInto(r, p.updates[s])
+			p.slots[s].End(start, "pass")
 			// Select on quit so a coordinator that dies mid-schedule
 			// (a panicking ApplyUpdate) cannot strand this worker in
 			// the send: ClosePipeline still reclaims it.
@@ -185,11 +199,17 @@ func (g *Group) TrainPipelined(samples []metrics.Sample, order []int, depth int)
 	for k, idx := range order {
 		slot := k % depth
 		if k >= depth {
+			t0 := p.coord.Begin()
 			<-p.done[slot]
+			p.coord.End(t0, "retire-wait")
 			retired++
+			p.coord.Counter("inflight", int64(launched-retired))
+			t0 = p.coord.Begin()
 			g.master.ApplyUpdate(p.updates[slot])
+			p.coord.End(t0, "apply")
 		}
 		r := g.replicas[1+slot]
+		tSync := p.coord.Begin()
 		if err := r.SyncWeights(g.master); err != nil {
 			// A replica cloned from the master can never fail to sync;
 			// reaching here means a broken Runner contract. By now
@@ -204,13 +224,18 @@ func (g *Group) TrainPipelined(samples []metrics.Sample, order []int, depth int)
 			}
 			panic(fmt.Sprintf("engine: pipelined sync of slot %d: %v", slot, err))
 		}
+		p.coord.End(tSync, "sync")
 		p.work[slot] <- samples[idx]
 		launched++
+		p.coord.Counter("inflight", int64(launched-retired))
 	}
 	// Drain: the oldest un-retired pass is always sample `retired`.
 	for ; retired < launched; retired++ {
 		slot := retired % depth
+		t0 := p.coord.Begin()
 		<-p.done[slot]
+		p.coord.End(t0, "retire-wait")
+		p.coord.Counter("inflight", int64(launched-retired-1))
 		g.master.ApplyUpdate(p.updates[slot])
 	}
 	return nil

@@ -44,6 +44,7 @@ func Adaptation(sc Scale, driftSD float64, seed uint64, progress io.Writer) (*Ad
 			Stream:         sc.Stream,
 			StreamWindow:   sc.Window,
 			Seed:           seed,
+			Trace:          sc.Trace,
 		})
 	}
 	logf := func(format string, args ...any) {

@@ -23,6 +23,7 @@ import (
 	"emstdp/internal/metrics"
 	"emstdp/internal/orchestrator"
 	"emstdp/internal/stream"
+	"emstdp/internal/trace"
 )
 
 // Scale sizes an experiment run. Quick keeps unit-test and bench
@@ -97,6 +98,13 @@ type Scale struct {
 	// Counters, if set, receives the orchestrator's observability
 	// counters.
 	Counters *metrics.Counters
+	// Trace, if set, records the sweep's timeline: orchestrator stage
+	// spans on the pool workers' tracks plus every per-cell model's
+	// engine/stream/mesh tracks (forwarded through core.Options.Trace).
+	// Excluded from stage canonicalisation — attaching a tracer never
+	// invalidates a warm cache — and purely observational: results are
+	// bit-identical with and without it.
+	Trace *trace.Tracer
 }
 
 // orchRun assembles the orchestrator configuration for a grid run.
@@ -121,6 +129,7 @@ func (sc Scale) orchRun() orchestrator.Config {
 		WM:       wm,
 		Governor: gov,
 		Counters: sc.Counters,
+		Tracer:   sc.Trace,
 	}
 }
 
@@ -275,6 +284,7 @@ func Table2(sc Scale, seed uint64) ([]Table2Row, error) {
 		TestSamples:    maxInt(sc.EnergySamples, 10),
 		PretrainEpochs: 1,
 		Seed:           seed,
+		Trace:          sc.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -433,6 +443,7 @@ func fig3Options(sc Scale, seed uint64, p fig3PointSpec) core.Options {
 		TestSamples:       10,
 		PretrainEpochs:    1,
 		Seed:              seed,
+		Trace:             sc.Trace,
 	}
 }
 
@@ -525,6 +536,7 @@ func Fig4(sc Scale, seed uint64) (*Fig4Result, error) {
 			Stream:         sc.Stream,
 			StreamWindow:   sc.Window,
 			Seed:           seed,
+			Trace:          sc.Trace,
 		})
 	}
 	m, err := build()

@@ -98,6 +98,7 @@ func table1Options(sc Scale, seed uint64, c table1Cell) core.Options {
 		StreamWindow:   sc.Window,
 		AsyncEval:      sc.AsyncEval,
 		Seed:           seed,
+		Trace:          sc.Trace,
 	}
 }
 

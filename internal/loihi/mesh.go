@@ -1,6 +1,10 @@
 package loihi
 
-import "fmt"
+import (
+	"fmt"
+
+	"emstdp/internal/trace"
+)
 
 // Mesh is a board of several simulated dies stepping in lock-step with
 // an inter-chip spike fabric — the substrate for population-level
@@ -55,6 +59,16 @@ type Mesh struct {
 	// OnStep, when non-nil, runs at the end of every mesh step — the
 	// multi-die analogue of Chip.OnStep.
 	OnStep func()
+
+	// phase and links are the mesh's trace tracks (nil when tracing is
+	// off): phase records one span per Step sub-phase, links one
+	// counter sample per routed link per step. linkNames caches
+	// Topology.LinkName for every directed link so the per-step counter
+	// path never formats a string. Tracing is observation only — every
+	// simulation result is computed before any message is routed.
+	phase     *trace.Track
+	links     *trace.Track
+	linkNames []string
 }
 
 // MeshTraffic counts the inter-die spike fabric's activity.
@@ -149,6 +163,23 @@ func NewMeshTopology(hw HardwareConfig, dies int, topo Topology) (*Mesh, error) 
 		m.chips = append(m.chips, New(hw))
 	}
 	return m, nil
+}
+
+// SetTracer attaches tr to the mesh: each Step records its sub-phases
+// (route, deliver, update, learn-micro, rotate-account) as spans on a
+// "mesh-phase" track and each routed link's per-step load as counter
+// samples on a "mesh-links" track. Nil detaches. Call between steps.
+func (m *Mesh) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		m.phase, m.links, m.linkNames = nil, nil, nil
+		return
+	}
+	m.phase = tr.Track("mesh-phase", 0)
+	m.links = tr.Track("mesh-links", 0)
+	m.linkNames = make([]string, m.topo.numLinks())
+	for l := range m.linkNames {
+		m.linkNames[l] = m.topo.LinkName(l)
+	}
 }
 
 // Topology returns the board's normalised NoC topology.
@@ -301,22 +332,32 @@ func (m *Mesh) Connect(g Connector) error {
 // next begins, with every shared population's spike buffers rotated
 // exactly once.
 func (m *Mesh) Step() {
+	t0 := m.phase.Begin()
 	m.accountTraffic()
+	m.phase.End(t0, "route")
+	t0 = m.phase.Begin()
 	for _, c := range m.chips {
 		c.stepDeliver()
 	}
+	m.phase.End(t0, "deliver")
+	t0 = m.phase.Begin()
 	for _, c := range m.chips {
 		c.stepUpdate()
 	}
+	m.phase.End(t0, "update")
+	t0 = m.phase.Begin()
 	for _, c := range m.chips {
 		c.stepLearnMicro()
 	}
+	m.phase.End(t0, "learn-micro")
+	t0 = m.phase.Begin()
 	for _, mp := range m.pops {
 		mp.p.rotate()
 	}
 	for _, c := range m.chips {
 		c.stepAccount()
 	}
+	m.phase.End(t0, "rotate-account")
 	if m.OnStep != nil {
 		m.OnStep()
 	}
@@ -369,6 +410,9 @@ func (m *Mesh) accountTraffic() {
 		load := m.stepLoad[l]
 		m.stepLoad[l] = 0
 		m.linkLoad[l] += load
+		if m.links != nil {
+			m.links.Counter(m.linkNames[l], load)
+		}
 		if load > m.traffic.MaxLinkLoad {
 			m.traffic.MaxLinkLoad = load
 		}

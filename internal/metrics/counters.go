@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -64,6 +66,34 @@ func (c *Counters) Snapshot() map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// Reset drops every counter, returning the registry to empty. Useful
+// between sweep repetitions so per-run snapshots don't accumulate. A
+// nil registry ignores the call.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m = map[string]int64{}
+	c.mu.Unlock()
+}
+
+// WriteTo renders every counter as "name value\n" lines in sorted name
+// order — the canonical text form the cmds print and the debug server
+// serves. A nil registry writes nothing. Implements io.WriterTo.
+func (c *Counters) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	snap := c.Snapshot()
+	for _, name := range c.Names() {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, snap[name])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Names returns the registered counter names in sorted order.

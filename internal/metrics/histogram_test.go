@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the pow2 bucketing exactly at the
+// edges: each bucket's inclusive upper bound lands in that bucket, the
+// next value up lands in the next one.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1}, // (0, 1]
+		{2, 2}, // (1, 3]
+		{3, 2},
+		{4, 3}, // (3, 7]
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		if got := h.Bucket(c.bucket); got != 1 {
+			t.Errorf("Observe(%d): bucket %d = %d, want 1", c.v, c.bucket, got)
+		}
+		if h.Count() != 1 {
+			t.Errorf("Observe(%d): count = %d", c.v, h.Count())
+		}
+	}
+}
+
+func TestHistogramUpperBounds(t *testing.T) {
+	wants := map[int]int64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 62: math.MaxInt64 / 2, 63: math.MaxInt64}
+	for i, want := range wants {
+		if got := UpperBound(i); got != want {
+			t.Errorf("UpperBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Bound/bucket consistency across the whole range: every bound is
+	// the largest value of its own bucket.
+	for i := 0; i < NumBuckets; i++ {
+		b := UpperBound(i)
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(UpperBound(%d)=%d) = %d", i, b, got)
+		}
+		if i < NumBuckets-1 {
+			if got := bucketIndex(b + 1); got != i+1 {
+				t.Errorf("bucketIndex(%d) = %d, want %d", b+1, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramSumCountQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	// p50 of 1..100 sits in bucket (32,64] → upper bound 63.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Fatalf("p50 = %d, want 63", got)
+	}
+	// p100 covers the max (100, bucket (64,127]).
+	if got := h.Quantile(1); got != 127 {
+		t.Fatalf("p100 = %d, want 127", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("reset did not clear: count=%d", h.Count())
+	}
+}
+
+// TestHistogramConcurrentObserve runs concurrent Observe under -race
+// and checks conservation of count and sum.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 8
+		per     = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := int64(workers * per)
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if want := n * (n - 1) / 2; h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	var buckets int64
+	for i := 0; i < NumBuckets; i++ {
+		buckets += h.Bucket(i)
+	}
+	if buckets != n {
+		t.Fatalf("bucket total = %d, want %d", buckets, n)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.Reset()
+	h.Publish(NewCounters(), "x")
+	if h.Count() != 0 || h.Sum() != 0 || h.Bucket(1) != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	if n, err := h.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(42) }); allocs != 0 {
+		t.Fatalf("Observe allocates %v per run", allocs)
+	}
+}
+
+func TestHistogramPublishAndWriteTo(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Observe(100)
+	reg := NewCounters()
+	h.Publish(reg, "stall")
+	if reg.Get("stall.count") != 2 || reg.Get("stall.sum") != 103 {
+		t.Fatalf("published snapshot = %v", reg.Snapshot())
+	}
+	if reg.Get("stall.p50") != 3 || reg.Get("stall.p99") != 127 {
+		t.Fatalf("published quantiles = %v", reg.Snapshot())
+	}
+	var sb strings.Builder
+	if _, err := h.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "le=3 1\nle=127 1\ncount 2 sum 103\n"
+	if sb.String() != want {
+		t.Fatalf("WriteTo = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCountersResetAndWriteTo(t *testing.T) {
+	c := NewCounters()
+	c.Add("z.last", 3)
+	c.Add("a.first", 1)
+	c.Set("m.middle", -2)
+	var sb strings.Builder
+	n, err := c.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a.first 1\nm.middle -2\nz.last 3\n"
+	if sb.String() != want {
+		t.Fatalf("WriteTo = %q, want %q", sb.String(), want)
+	}
+	if n != int64(len(want)) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, len(want))
+	}
+	c.Reset()
+	if len(c.Snapshot()) != 0 {
+		t.Fatalf("Reset left counters: %v", c.Snapshot())
+	}
+	c.Add("fresh", 1)
+	if c.Get("fresh") != 1 {
+		t.Fatal("registry unusable after Reset")
+	}
+	// Nil registry: WriteTo writes nothing, Reset no-ops.
+	var nilC *Counters
+	nilC.Reset()
+	if n, err := nilC.WriteTo(&sb); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+}

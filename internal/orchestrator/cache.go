@@ -66,26 +66,50 @@ var ErrKeyCollision = errors.New("orchestrator: stage key collision (canonical c
 
 func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".stage") }
 
+// CacheSource tells a lookup's provenance apart — the trace annotation
+// that distinguishes a warm in-memory hit from a disk fault-in.
+type CacheSource int
+
+const (
+	// CacheMiss: the key is not cached anywhere.
+	CacheMiss CacheSource = iota
+	// CacheMemory: served from the in-memory map (a warm hit).
+	CacheMemory
+	// CacheDisk: faulted in from the spill directory.
+	CacheDisk
+)
+
 // Get returns the cached output for k, consulting memory and then the
 // spill directory. canon must be the stage's canonical bytes; a stored
 // entry with a different canon returns ErrKeyCollision.
 func (c *Cache) Get(k Key, canon []byte) (any, bool, error) {
+	v, src, err := c.GetSourced(k, canon)
+	return v, src != CacheMiss, err
+}
+
+// GetSourced is Get reporting where the hit came from, so observers
+// can annotate warm hits differently from disk fault-ins.
+func (c *Cache) GetSourced(k Key, canon []byte) (any, CacheSource, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.mem[k]; ok {
 		if string(e.canon) != string(canon) {
-			return nil, false, fmt.Errorf("%w: key %s", ErrKeyCollision, k)
+			return nil, CacheMiss, fmt.Errorf("%w: key %s", ErrKeyCollision, k)
 		}
 		c.stats.Hits++
-		return e.val, true, nil
+		return e.val, CacheMemory, nil
 	}
 	if c.dir != "" {
-		if v, ok, err := c.load(k, canon); err != nil || ok {
-			return v, ok, err
+		v, ok, err := c.load(k, canon)
+		if err != nil {
+			return nil, CacheMiss, err
+		}
+		if ok {
+			return v, CacheDisk, nil
 		}
 	}
 	c.stats.Misses++
-	return nil, false, nil
+	return nil, CacheMiss, nil
 }
 
 // load faults a spilled entry in from disk (caller holds the lock).

@@ -3,6 +3,8 @@ package orchestrator
 import (
 	"sync"
 	"time"
+
+	"emstdp/internal/metrics"
 )
 
 // Governor adaptively retunes the scheduler's issue width from
@@ -27,6 +29,10 @@ type Governor struct {
 	dir      int
 	lastRate float64
 	stageNs  map[string]float64
+	// windows counts ObserveWindow calls, reversals the direction flips
+	// — the hill-climb's own telemetry, published with the stage EWMAs.
+	windows   int64
+	reversals int64
 }
 
 // NewGovernor returns a governor bounded to [min, max], starting at
@@ -60,8 +66,10 @@ func (g *Governor) ObserveWindow(completed int, elapsed time.Duration) {
 	rate := float64(completed) / elapsed.Seconds()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.windows++
 	if g.lastRate > 0 && rate < g.lastRate*0.98 {
 		g.dir = -g.dir
+		g.reversals++
 	}
 	g.lastRate = rate
 	g.width += g.dir
@@ -92,4 +100,23 @@ func (g *Governor) StageMeanNs(stage string) float64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.stageNs[stage]
+}
+
+// Publish writes the governor's state into reg: the current width, the
+// window/reversal counts of the hill-climb, and every stage kind's
+// EWMA duration as "orchestrator.governor.stage.<kind>.ewma_ns" — so
+// governor behaviour is assertable from a counters snapshot instead of
+// per-field accessors. Nil receiver or registry no-op.
+func (g *Governor) Publish(reg *metrics.Counters) {
+	if g == nil || reg == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	reg.Set("orchestrator.governor.width", int64(g.width))
+	reg.Set("orchestrator.governor.windows", g.windows)
+	reg.Set("orchestrator.governor.reversals", g.reversals)
+	for stage, ns := range g.stageNs {
+		reg.Set("orchestrator.governor.stage."+stage+".ewma_ns", int64(ns))
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"emstdp/internal/engine"
 	"emstdp/internal/metrics"
 	"emstdp/internal/stream"
+	"emstdp/internal/trace"
 )
 
 // Config wires a Run to its execution resources. The zero value is
@@ -32,14 +33,23 @@ type Config struct {
 	// Counters, if set, receives the run's observability counters under
 	// "orchestrator." names.
 	Counters *metrics.Counters
+	// Tracer, if set, records the run's timeline: executed stages as
+	// spans on the pool workers' tracks (noted "cold" — an executed
+	// stage is by definition a cache miss), cache hits during demand
+	// resolution as instants noted "warm"/"disk-hit", and the governor's
+	// issue width as a counter track. Tracing observes the schedule and
+	// never steers it: results stay independent of whether a tracer is
+	// attached.
+	Tracer *trace.Tracer
 }
 
 // issued is one task handed to a worker: the closure plus its resolved
 // dependency outputs.
 type issued struct {
-	key  Key
-	deps []any
-	run  func(deps []any) (any, error)
+	key   Key
+	stage string
+	deps  []any
+	run   func(deps []any) (any, error)
 }
 
 type taskResult struct {
@@ -80,6 +90,9 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 	ctr := cfg.Counters
 	ctr.Add("orchestrator.runs", 1)
 	ctr.Set("orchestrator.stages", int64(g.Len()))
+	// orch is the scheduler's own track: width/inflight counters,
+	// cache-hit and gate instants. Nil when tracing is off.
+	orch := cfg.Tracer.Track("orchestrator", 0)
 
 	// Demand resolution: walk backwards from the sinks, stopping at
 	// cache hits.
@@ -95,11 +108,16 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 		}
 		n := g.nodes[k]
 		if !n.task.Ephemeral && cfg.Cache != nil {
-			v, ok, err := cfg.Cache.Get(k, n.canon)
+			v, src, err := cfg.Cache.GetSourced(k, n.canon)
 			if err != nil {
 				return err
 			}
-			if ok {
+			if src != CacheMiss {
+				if src == CacheDisk {
+					orch.InstantNote(n.task.Stage, "disk-hit")
+				} else {
+					orch.InstantNote(n.task.Stage, "warm")
+				}
 				results[k] = v
 				return nil
 			}
@@ -172,6 +190,7 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 		width = clampWidth(cfg.Governor.Width(), 1, wm.High)
 	}
 	ctr.Set("orchestrator.width", int64(width))
+	orch.Counter("width", int64(width))
 
 	pool := cfg.Pool
 	if pool == nil {
@@ -181,19 +200,27 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// Stage spans land on the pool's per-worker tracks; attach them on
+	// demand when the caller handed a tracer but a bare pool.
+	if cfg.Tracer != nil && pool.WorkerTrack(0) == nil {
+		pool.SetTracer(cfg.Tracer)
+	}
 
 	// inflight never exceeds width <= wm.High, so both channels hold
 	// every outstanding item and no send below can block.
 	taskCh := make(chan issued, wm.High)
 	resCh := make(chan taskResult, wm.High)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
+			tk := pool.WorkerTrack(w)
 			for t := range taskCh {
 				t0 := time.Now()
+				ts := tk.Begin()
 				v, err := t.run(t.deps)
+				tk.EndNote(ts, t.stage, "cold")
 				resCh <- taskResult{key: t.key, val: v, err: err, dur: time.Since(t0)}
 			}
-		}()
+		}(w)
 	}
 	defer close(taskCh)
 
@@ -213,7 +240,7 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 			for i, d := range n.task.Deps {
 				deps[i] = results[d]
 			}
-			taskCh <- issued{key: k, deps: deps, run: n.task.Run}
+			taskCh <- issued{key: k, stage: n.task.Stage, deps: deps, run: n.task.Run}
 			inflight++
 			ctr.Add("orchestrator.issued", 1)
 			if inflight >= width {
@@ -221,6 +248,7 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 				windowStart = time.Now()
 				windowDone = 0
 				ctr.Add("orchestrator.stalls", 1)
+				orch.Instant("gated")
 			}
 		}
 	}
@@ -281,6 +309,8 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 				}
 				ctr.Set("orchestrator.width", int64(width))
 				ctr.Add("orchestrator.refills", 1)
+				orch.Counter("width", int64(width))
+				orch.Instant("refill")
 			}
 		}
 		issue()
@@ -293,6 +323,7 @@ func Run(g *Graph, cfg Config) (map[Key]any, error) {
 		ctr.Set("orchestrator.cache.spills", st.Spills)
 		ctr.Set("orchestrator.cache.loads", st.Loads)
 	}
+	cfg.Governor.Publish(ctr)
 
 	if failed {
 		// Release any ephemeral outputs stranded by the failure.

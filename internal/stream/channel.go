@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"emstdp/internal/metrics"
+	"emstdp/internal/trace"
 )
 
 // Watermarks bound a Channel's buffer: the producer fills ahead until
@@ -105,13 +106,51 @@ type Channel struct {
 	total         int
 	consumedCycle int
 
+	// track records the watermark lifecycle when tracing is on: one
+	// "stall" span per producer gate (the hysteresis wait itself), a
+	// "refill" instant when the consumer reopens the gate, and an
+	// "inflight" counter sampled at every producer commit. stallHist
+	// feeds per-stall nanoseconds into a histogram. Both nil by default
+	// (NewChannel) and no-ops when nil.
+	track     *trace.Track
+	stallHist *metrics.Histogram
+
 	done chan struct{}
+}
+
+// Instrumentation carries a Channel's optional observers. The zero
+// value means unobserved — what NewChannel uses.
+type Instrumentation struct {
+	// Tracer records the watermark lifecycle (stall spans, refill
+	// instants, the in-flight counter) on a track named Name.
+	Tracer *trace.Tracer
+	// Name is the trace track name; "" selects "channel".
+	Name string
+	// StallHist, if set, observes each producer stall's duration in
+	// nanoseconds — the latency distribution behind the Stats.StalledNs
+	// aggregate.
+	StallHist *metrics.Histogram
 }
 
 // NewChannel starts pumping src through a buffer bounded by wm
 // (zero-value wm selects DefaultWatermarks).
 func NewChannel(src Source, wm Watermarks) *Channel {
-	c := &Channel{src: src, wm: wm.normalised()}
+	return NewChannelObserved(src, wm, Instrumentation{})
+}
+
+// NewChannelObserved is NewChannel with observers attached before the
+// producer starts, so the pump's first stall is already recorded.
+// Observation never changes what the consumer sees: the sample
+// sequence is fixed by the upstream source alone.
+func NewChannelObserved(src Source, wm Watermarks, ins Instrumentation) *Channel {
+	c := &Channel{src: src, wm: wm.normalised(), stallHist: ins.StallHist}
+	if ins.Tracer != nil {
+		name := ins.Name
+		if name == "" {
+			name = "channel"
+		}
+		c.track = ins.Tracer.Track(name, 0)
+	}
 	c.cond = sync.NewCond(&c.mu)
 	c.start()
 	return c
@@ -146,10 +185,14 @@ func (c *Channel) produce() {
 		if c.gated && !c.stopped {
 			c.stats.Stalls++
 			t0 := time.Now()
+			ts := c.track.Begin()
 			for c.gated && !c.stopped {
 				c.cond.Wait()
 			}
-			c.stats.StalledNs += time.Since(t0).Nanoseconds()
+			stalled := time.Since(t0).Nanoseconds()
+			c.stats.StalledNs += stalled
+			c.track.End(ts, "stall")
+			c.stallHist.Observe(stalled)
 		}
 		if c.stopped {
 			// s was pulled from upstream but never committed to the
@@ -162,6 +205,7 @@ func (c *Channel) produce() {
 			c.gated = true
 		}
 		c.stats.Produced++
+		c.track.Counter("inflight", int64(c.inflight))
 		c.mu.Unlock()
 		c.ch <- s
 	}
@@ -180,6 +224,7 @@ func (c *Channel) Next() (metrics.Sample, bool) {
 	c.stats.Consumed++
 	if c.gated && c.inflight <= c.wm.Low {
 		c.gated = false
+		c.track.Instant("refill")
 		c.cond.Broadcast()
 	}
 	c.mu.Unlock()

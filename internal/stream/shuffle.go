@@ -32,6 +32,11 @@ type ShuffleWindow struct {
 	r      *rng.Source
 	buf    []metrics.Sample
 	primed bool
+	// occHist, if set, observes the window occupancy at every emit —
+	// the distribution that shows how long a pass stays at full W
+	// before the drain tail. Purely observational: the emitted order is
+	// a function of (seed, epoch, upstream order) alone.
+	occHist *metrics.Histogram
 }
 
 // NewShuffleWindow wraps src with a window of w slots (w < 1 is clamped
@@ -41,6 +46,13 @@ func NewShuffleWindow(src Source, w int, seed uint64) *ShuffleWindow {
 		w = 1
 	}
 	return &ShuffleWindow{src: src, w: w, seed: seed}
+}
+
+// SetOccupancyHistogram attaches h to observe the window's occupancy
+// (buffered sample count) at each emit; nil detaches. Call before
+// consuming — not concurrently with Next.
+func (s *ShuffleWindow) SetOccupancyHistogram(h *metrics.Histogram) {
+	s.occHist = h
 }
 
 // prime fills the window for the current epoch.
@@ -68,6 +80,7 @@ func (s *ShuffleWindow) Next() (metrics.Sample, bool) {
 	if len(s.buf) == 0 {
 		return metrics.Sample{}, false
 	}
+	s.occHist.Observe(int64(len(s.buf)))
 	i := 0
 	if len(s.buf) > 1 {
 		i = s.r.Intn(len(s.buf))

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden convention mirrors the Fig-3 CSV and BENCH goldens: regenerate
+// with `go test ./internal/trace -run ChromeTraceGolden -update`.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenTracer assembles a small deterministic timeline covering
+// every event shape the exporter emits: plain and noted spans, an
+// instant, counter samples, a second track, and a wrapped ring.
+func buildGoldenTracer() *Tracer {
+	tr := New()
+	tr.SetClock(fakeClock(250)) // 250 ns per clock read
+	worker := tr.Track("pool-worker-0", 8)
+	s := worker.Begin()
+	worker.End(s, "task")
+	s = worker.Begin()
+	worker.EndNote(s, "stage:train", "cold")
+	worker.InstantNote("cache-hit", "disk")
+
+	gov := tr.Track("orchestrator", 2) // capacity 2: third sample wraps
+	gov.Counter("width", 4)
+	gov.Counter("width", 2)
+	gov.Counter("width", 3)
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON drifted from golden (regenerate with -update if intended)\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceSchema checks the structural contract the viewers
+// rely on, independent of the byte-exact golden: top-level shape,
+// metadata naming every track, phase-specific required fields.
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			S    string   `json:"s"`
+			Args struct {
+				Name  string `json:"name"`
+				Note  string `json:"note"`
+				Value *int64 `json:"value"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	threadNames := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" || e.Args.Name == "" {
+				t.Fatalf("bad metadata event %+v", e)
+			}
+			threadNames[e.Tid] = e.Args.Name
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("complete event without dur: %+v", e)
+			}
+		case "i":
+			if e.S != "t" {
+				t.Fatalf("instant without scope: %+v", e)
+			}
+		case "C":
+			if e.Args.Value == nil {
+				t.Fatalf("counter without value: %+v", e)
+			}
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+		if _, ok := threadNames[e.Tid]; !ok {
+			t.Fatalf("event on tid %d precedes its thread_name metadata", e.Tid)
+		}
+	}
+	if threadNames[0] != "pool-worker-0" || threadNames[1] != "orchestrator" {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+	// The wrapped counter ring kept only the 2 newest of 3 samples.
+	counters := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" {
+			counters++
+		}
+	}
+	if counters != 2 {
+		t.Fatalf("counter events = %d, want 2 (ring capacity 2)", counters)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzTrack drives a track's ring through an arbitrary op sequence —
+// spans (including out-of-order finishes), instants, counters, reads —
+// at a fuzzed capacity, and checks the ring invariants after every op:
+// held count never exceeds capacity, held+dropped equals the number of
+// records, and Events() returns exactly the held count in a readable
+// state.
+func FuzzTrack(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 2, 3, 0, 0, 4})
+	f.Add(uint8(1), []byte{0, 0, 0, 0, 0})
+	f.Add(uint8(16), []byte{2, 2, 1, 3, 4, 1, 0})
+	f.Fuzz(func(t *testing.T, capacity uint8, ops []byte) {
+		cap := int(capacity%32) + 1
+		tr := New()
+		tr.SetClock(fakeClock(3))
+		tk := tr.Track("fuzz", cap)
+		var (
+			records int
+			pending []int64 // open span starts, finished LIFO or skipped
+		)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // record a whole span
+				s := tk.Begin()
+				tk.End(s, "span")
+				records++
+			case 1: // open a span, leave it pending
+				pending = append(pending, tk.Begin())
+			case 2: // finish the OLDEST pending span (out-of-order)
+				if len(pending) > 0 {
+					tk.EndNote(pending[0], "late", "ooo")
+					pending = pending[1:]
+					records++
+				}
+			case 3:
+				tk.Instant("mark")
+				records++
+			case 4:
+				tk.Counter("c", int64(op))
+				records++
+			}
+			held, dropped := tk.Len(), int(tk.Dropped())
+			if held > cap {
+				t.Fatalf("held %d exceeds capacity %d", held, cap)
+			}
+			if held+dropped != records {
+				t.Fatalf("held %d + dropped %d != records %d", held, dropped, records)
+			}
+			if got := len(tk.Events()); got != held {
+				t.Fatalf("Events() returned %d, Len() says %d", got, held)
+			}
+		}
+		// Timestamps within the surviving window never decrease for
+		// non-span events; spans carry their (possibly earlier) start.
+		var last int64 = -1
+		for _, e := range tk.Events() {
+			if e.Kind != KindSpan {
+				if e.Ts < last {
+					t.Fatalf("non-span timestamps regress: %d after %d", e.Ts, last)
+				}
+				last = e.Ts
+			}
+			if e.Dur < 0 || (e.Kind != KindSpan && e.Dur != 0) {
+				t.Fatalf("bad duration %d on kind %d", e.Dur, e.Kind)
+			}
+		}
+	})
+}
+
+// FuzzTrackConcurrent splits a fuzzed op stream across two goroutines
+// writing the same track, then checks the conservation invariant. Run
+// under -race this exercises concurrent wrap-around.
+func FuzzTrackConcurrent(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, capacity uint8, ops []byte) {
+		cap := int(capacity%16) + 1
+		tr := New()
+		tk := tr.Track("fuzz", cap)
+		half := len(ops) / 2
+		run := func(part []byte, done chan<- int) {
+			n := 0
+			for _, op := range part {
+				switch op % 3 {
+				case 0:
+					s := tk.Begin()
+					tk.End(s, "span")
+				case 1:
+					tk.Instant("mark")
+				case 2:
+					tk.Counter("c", int64(op))
+				}
+				n++
+			}
+			done <- n
+		}
+		done := make(chan int, 2)
+		go run(ops[:half], done)
+		go run(ops[half:], done)
+		records := <-done + <-done
+		if got := tk.Len() + int(tk.Dropped()); got != records {
+			t.Fatalf("held+dropped = %d, want %d", got, records)
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package trace is the repo's zero-dependency span tracer: the shared
+// timeline that answers *when* and *for how long* where
+// metrics.Counters answers *how many*. Subsystems record duration
+// spans, instant markers and counter samples onto named Tracks —
+// preallocated ring buffers with monotonic timestamps — and the whole
+// timeline exports as Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing (see WriteChromeTrace).
+//
+// The contract mirrors metrics.Counters:
+//
+//   - A nil *Tracer (and the nil *Track it hands out) is a no-op on
+//     every method, so instrumentation sites need no guards and
+//     tracing-off costs two nil checks — the hot-path AllocsPerRun
+//     suites run over the instrumented code with a nil tracer and
+//     still demand zero allocations.
+//   - A live Track never allocates on the record path: events are
+//     written into a ring preallocated at Track creation, and once the
+//     ring is full new events overwrite the oldest (Dropped counts
+//     them). Tracing bounds its own memory instead of growing with the
+//     run.
+//   - Recording never perturbs results. Spans observe wall clock only;
+//     every instrumented schedule is deterministic independent of
+//     timing, which the bit-identity-under-tracing conformance tests
+//     pin.
+//
+// Timestamps are nanoseconds on the monotonic clock since the
+// Tracer's creation, so spans are immune to wall-clock steps and all
+// tracks share one time base.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTrackEvents is the ring capacity Track creation clamps to
+// when the caller passes cap <= 0: large enough to hold the tail of a
+// long run, small enough (≈56 B/event) that a dozen tracks stay well
+// under a megabyte.
+const DefaultTrackEvents = 4096
+
+// Kind discriminates the event types a Track records.
+type Kind uint8
+
+const (
+	// KindSpan is a duration event: [Ts, Ts+Dur).
+	KindSpan Kind = iota
+	// KindInstant is a point-in-time marker.
+	KindInstant
+	// KindCounter is one sample of a named numeric series.
+	KindCounter
+)
+
+// Event is one recorded entry of a Track's ring.
+type Event struct {
+	Kind Kind
+	// Name labels the event ("pass", "stall", "stage:train"). For
+	// counters it names the series.
+	Name string
+	// Note is an optional annotation (e.g. an orchestrator stage's
+	// "cold"/"warm" cache disposition), exported as args.note.
+	Note string
+	// Ts is the event time in nanoseconds since the tracer's epoch
+	// (the span start for KindSpan).
+	Ts int64
+	// Dur is the span duration in nanoseconds (KindSpan only).
+	Dur int64
+	// Value is the counter sample (KindCounter only).
+	Value int64
+}
+
+// Tracer owns the epoch and the track registry. Create one per run
+// with New; share it across every subsystem so all tracks align on one
+// clock. All methods are safe for concurrent use and no-ops on nil.
+type Tracer struct {
+	epoch time.Time
+	// clock returns nanoseconds since epoch; injectable so the export
+	// golden test is deterministic.
+	clock func() int64
+
+	mu     sync.Mutex
+	tracks []*Track
+	byName map[string]*Track
+}
+
+// New returns a Tracer whose epoch is now.
+func New() *Tracer {
+	t := &Tracer{epoch: time.Now(), byName: map[string]*Track{}}
+	t.clock = func() int64 { return int64(time.Since(t.epoch)) }
+	return t
+}
+
+// GobEncode makes configuration structs that carry a *Tracer (e.g.
+// core.Options inside a model snapshot) serializable: a tracer is
+// runtime-only observation state, so it encodes as nothing. Without
+// this, gob rejects the whole containing struct because Tracer has no
+// exported fields.
+func (t *Tracer) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode restores a decoded tracer to a usable live state (an empty
+// registry on a fresh epoch) rather than a zero value with no clock.
+func (t *Tracer) GobDecode([]byte) error {
+	*t = *New()
+	return nil
+}
+
+// SetClock replaces the monotonic clock with fn (nanoseconds since
+// epoch) — a test hook that makes recorded timestamps deterministic.
+func (t *Tracer) SetClock(fn func() int64) {
+	if t == nil {
+		return
+	}
+	t.clock = fn
+}
+
+// Now returns nanoseconds since the tracer's epoch (0 on nil) — the
+// value Begin hands out, exposed for callers that time a region
+// spanning several tracks.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Track returns the named track, creating it with a ring of capacity
+// events on first use (capacity <= 0 selects DefaultTrackEvents). A
+// repeated name returns the same track — the existing ring is kept and
+// the capacity argument ignored — so instrumentation sites can call
+// Track per use without growing the registry. Nil tracers return a nil
+// track, whose methods all no-op.
+func (t *Tracer) Track(name string, capacity int) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tk, ok := t.byName[name]; ok {
+		return tk
+	}
+	if capacity <= 0 {
+		capacity = DefaultTrackEvents
+	}
+	tk := &Track{tracer: t, name: name, ring: make([]Event, capacity)}
+	t.byName[name] = tk
+	t.tracks = append(t.tracks, tk)
+	return tk
+}
+
+// Tracks returns the registered tracks in creation order (export,
+// assertions).
+func (t *Tracer) Tracks() []*Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Track, len(t.tracks))
+	copy(out, t.tracks)
+	return out
+}
+
+// Track is one named timeline — rendered as a thread in the Chrome
+// trace view. Events live in a fixed ring: recording is
+// allocation-free and overwrites the oldest event once the ring is
+// full. Methods are safe for concurrent use and no-ops on a nil
+// receiver.
+type Track struct {
+	tracer *Tracer
+	name   string
+
+	mu    sync.Mutex
+	ring  []Event
+	total uint64
+}
+
+// Name returns the track's name ("" on nil).
+func (tk *Track) Name() string {
+	if tk == nil {
+		return ""
+	}
+	return tk.name
+}
+
+// Begin returns the current timestamp, to be paired with End. On a nil
+// track it returns 0 without reading the clock.
+func (tk *Track) Begin() int64 {
+	if tk == nil {
+		return 0
+	}
+	return tk.tracer.clock()
+}
+
+// End records a duration span from start (a Begin result) to now.
+func (tk *Track) End(start int64, name string) {
+	tk.EndNote(start, name, "")
+}
+
+// EndNote records a duration span carrying an annotation. Ends may
+// arrive in any order relative to other spans' Begins on the same
+// track (out-of-order finish): each span is recorded whole at End
+// time, so overlap never corrupts the ring.
+func (tk *Track) EndNote(start int64, name, note string) {
+	if tk == nil {
+		return
+	}
+	now := tk.tracer.clock()
+	dur := now - start
+	if dur < 0 {
+		dur = 0
+	}
+	tk.record(Event{Kind: KindSpan, Name: name, Note: note, Ts: start, Dur: dur})
+}
+
+// Instant records a point-in-time marker.
+func (tk *Track) Instant(name string) {
+	tk.InstantNote(name, "")
+}
+
+// InstantNote records a point-in-time marker with an annotation.
+func (tk *Track) InstantNote(name, note string) {
+	if tk == nil {
+		return
+	}
+	tk.record(Event{Kind: KindInstant, Name: name, Note: note, Ts: tk.tracer.clock()})
+}
+
+// Counter records one sample of the named series — rendered by the
+// trace viewers as a stepped counter track (issue width, channel
+// occupancy, per-link load).
+func (tk *Track) Counter(name string, v int64) {
+	if tk == nil {
+		return
+	}
+	tk.record(Event{Kind: KindCounter, Name: name, Ts: tk.tracer.clock(), Value: v})
+}
+
+// record writes e into the ring, overwriting the oldest event when
+// full.
+func (tk *Track) record(e Event) {
+	tk.mu.Lock()
+	tk.ring[tk.total%uint64(len(tk.ring))] = e
+	tk.total++
+	tk.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (tk *Track) Len() int {
+	if tk == nil {
+		return 0
+	}
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	n := tk.total
+	if n > uint64(len(tk.ring)) {
+		n = uint64(len(tk.ring))
+	}
+	return int(n)
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (tk *Track) Dropped() uint64 {
+	if tk == nil {
+		return 0
+	}
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	if tk.total <= uint64(len(tk.ring)) {
+		return 0
+	}
+	return tk.total - uint64(len(tk.ring))
+}
+
+// Events returns a copy of the held events, oldest first.
+func (tk *Track) Events() []Event {
+	if tk == nil {
+		return nil
+	}
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	cap64 := uint64(len(tk.ring))
+	n := tk.total
+	if n > cap64 {
+		n = cap64
+	}
+	out := make([]Event, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = tk.ring[(tk.total-n+i)%cap64]
+	}
+	return out
+}

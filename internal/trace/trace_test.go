@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock returns a deterministic clock advancing step ns per call.
+func fakeClock(step int64) func() int64 {
+	var now int64
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.SetClock(func() int64 { return 99 })
+	if got := tr.Now(); got != 0 {
+		t.Fatalf("nil Tracer.Now() = %d, want 0", got)
+	}
+	tk := tr.Track("anything", 16)
+	if tk != nil {
+		t.Fatalf("nil Tracer.Track returned non-nil track")
+	}
+	if tr.Tracks() != nil {
+		t.Fatalf("nil Tracer.Tracks returned non-nil slice")
+	}
+	// Every Track method must be callable on the nil track.
+	if got := tk.Begin(); got != 0 {
+		t.Fatalf("nil Track.Begin() = %d, want 0", got)
+	}
+	tk.End(0, "span")
+	tk.EndNote(0, "span", "note")
+	tk.Instant("mark")
+	tk.InstantNote("mark", "note")
+	tk.Counter("series", 7)
+	if tk.Len() != 0 || tk.Dropped() != 0 || tk.Events() != nil || tk.Name() != "" {
+		t.Fatalf("nil Track accessors not zero: len=%d dropped=%d", tk.Len(), tk.Dropped())
+	}
+	// Nil tracer still writes a valid empty trace.
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("nil trace output does not parse: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatalf("nil trace output missing traceEvents: %s", sb.String())
+	}
+}
+
+func TestTrackDedupeByName(t *testing.T) {
+	tr := New()
+	a := tr.Track("same", 8)
+	b := tr.Track("same", 999)
+	if a != b {
+		t.Fatalf("Track did not dedupe by name")
+	}
+	if len(a.ring) != 8 {
+		t.Fatalf("second Track call resized ring: cap %d, want 8", len(a.ring))
+	}
+	if got := len(tr.Tracks()); got != 1 {
+		t.Fatalf("registry holds %d tracks, want 1", got)
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := New()
+	tr.SetClock(fakeClock(100))
+	tk := tr.Track("t", 8)
+	start := tk.Begin() // 100
+	tk.EndNote(start, "work", "cold")
+	ev := tk.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1", len(ev))
+	}
+	e := ev[0]
+	if e.Kind != KindSpan || e.Name != "work" || e.Note != "cold" || e.Ts != 100 || e.Dur != 100 {
+		t.Fatalf("span event = %+v", e)
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	tr := New()
+	tr.SetClock(fakeClock(10))
+	tk := tr.Track("t", 4)
+	tk.End(1_000_000, "backwards") // start far after the fake now
+	if d := tk.Events()[0].Dur; d != 0 {
+		t.Fatalf("negative span duration not clamped: %d", d)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	tr := New()
+	tr.SetClock(fakeClock(1))
+	tk := tr.Track("t", 4)
+	for i := 0; i < 10; i++ {
+		tk.Counter("c", int64(i))
+	}
+	if tk.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tk.Len())
+	}
+	if tk.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tk.Dropped())
+	}
+	ev := tk.Events()
+	for i, e := range ev {
+		if want := int64(6 + i); e.Value != want {
+			t.Fatalf("event %d value = %d, want %d (oldest-first order broken)", i, e.Value, want)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New()
+	tk := tr.Track("t", 0)
+	if len(tk.ring) != DefaultTrackEvents {
+		t.Fatalf("default ring capacity %d, want %d", len(tk.ring), DefaultTrackEvents)
+	}
+}
+
+func TestMonotonicClockAdvances(t *testing.T) {
+	tr := New()
+	a := tr.Now()
+	b := tr.Now()
+	if b < a {
+		t.Fatalf("clock went backwards: %d then %d", a, b)
+	}
+}
+
+// TestTraceConcurrentTracks hammers several tracks from goroutines so
+// -race can observe the locking. Totals must be exact: overwrite drops
+// events but never loses the count.
+func TestTraceConcurrentTracks(t *testing.T) {
+	tr := New()
+	const (
+		workers   = 8
+		perWorker = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := tr.Track("own", 64) // shared name: all goroutines hit one ring
+			for i := 0; i < perWorker; i++ {
+				s := own.Begin()
+				own.End(s, "span")
+				own.Counter("c", int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tk := tr.Track("own", 64)
+	if got := tk.Len() + int(tk.Dropped()); got != workers*perWorker*2 {
+		t.Fatalf("held+dropped = %d, want %d", got, workers*perWorker*2)
+	}
+}
+
+// TestTraceRecordAllocationFree pins the hot-path contract: recording
+// into a live track allocates nothing.
+func TestTraceRecordAllocationFree(t *testing.T) {
+	tr := New()
+	tk := tr.Track("t", 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tk.Begin()
+		tk.EndNote(s, "span", "note")
+		tk.Instant("mark")
+		tk.Counter("c", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v per run, want 0", allocs)
+	}
+	// And the nil path, which is what tracing-off costs.
+	var nilTk *Track
+	allocs = testing.AllocsPerRun(100, func() {
+		s := nilTk.Begin()
+		nilTk.End(s, "span")
+		nilTk.Counter("c", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil record path allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestOutOfOrderFinish interleaves two spans on one track finishing in
+// the reverse of their start order; both must be recorded intact.
+func TestOutOfOrderFinish(t *testing.T) {
+	tr := New()
+	tr.SetClock(fakeClock(10))
+	tk := tr.Track("t", 8)
+	s1 := tk.Begin()    // 10
+	s2 := tk.Begin()    // 20
+	tk.End(s2, "inner") // recorded at 30: [20,30)
+	tk.End(s1, "outer") // recorded at 40: [10,40)
+	ev := tk.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Name != "inner" || ev[0].Ts != 20 || ev[0].Dur != 10 {
+		t.Fatalf("inner span = %+v", ev[0])
+	}
+	if ev[1].Name != "outer" || ev[1].Ts != 10 || ev[1].Dur != 30 {
+		t.Fatalf("outer span = %+v", ev[1])
+	}
+}
