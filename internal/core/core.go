@@ -413,13 +413,16 @@ func (m *Model) Group() *engine.Group {
 	return m.grp
 }
 
-// Close releases the background resources a model may hold — the
-// pipelined training path's persistent stage workers and their replica
-// networks. Safe (and a no-op) on a model that never pipelined; sweep
-// harnesses that build many models should close each when done with it.
+// Close releases the background resources a model may hold — it joins
+// an in-flight AsyncEvaluate pass (so no goroutine keeps reading the
+// test split or the eval replica after Close returns), drops the eval
+// and snapshot replicas, and stops the pipelined training path's
+// persistent stage workers. Safe (and a no-op) on a model that never
+// went parallel; sweep harnesses and the serving layer's tenant-delete
+// path must close each model when done with it.
 func (m *Model) Close() {
 	if m.grp != nil {
-		m.grp.ClosePipeline()
+		m.grp.Close()
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"emstdp/internal/metrics"
 	"emstdp/internal/trace"
@@ -26,6 +27,15 @@ type Group struct {
 	// reusable update buffers) built by the first TrainPipelined call;
 	// see pipeline.go.
 	pipe *pipeline
+	// snapVersion and snapFree implement the versioned-weights API
+	// (snapshot.go): snapVersion is the monotonic counter stamped on
+	// every Snapshot, snapFree the released replica groups waiting to be
+	// reused. snapMu guards both — Snapshot itself must not race
+	// training on the master, but Release may be called from reader
+	// goroutines at any time.
+	snapMu      sync.Mutex
+	snapVersion uint64
+	snapFree    []*Group
 	// tracer feeds the pool's worker tracks and the pipeline's slot and
 	// coordinator tracks; nil means tracing off (the default).
 	tracer *trace.Tracer
@@ -52,6 +62,26 @@ func (g *Group) SetTracer(tr *trace.Tracer) {
 
 // Master returns the authoritative runner.
 func (g *Group) Master() Runner { return g.master }
+
+// Close joins and releases the group's background resources: it waits
+// for an in-flight AsyncEvaluate (whose goroutine otherwise keeps
+// reading the samples slice and the eval replica after the caller has
+// moved on), drops the eval replica and the released snapshot groups,
+// and stops the pipelined-training stage workers. Idempotent and safe
+// on a group that never went async. Long-lived embedders — sweep
+// harnesses, the serving layer's tenant-delete path — must Close each
+// group they retire or they leak the eval goroutine and its replica.
+func (g *Group) Close() {
+	if g.pendingEval != nil {
+		g.pendingEval.Wait()
+		g.pendingEval = nil
+	}
+	g.evalReplica = nil
+	g.snapMu.Lock()
+	g.snapFree = nil
+	g.snapMu.Unlock()
+	g.ClosePipeline()
+}
 
 // Pool returns the group's worker pool.
 func (g *Group) Pool() *Pool { return g.pool }

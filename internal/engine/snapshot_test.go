@@ -1,0 +1,198 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"emstdp/internal/engine"
+	"emstdp/internal/metrics"
+)
+
+// trainOn runs n online updates on the group's master, advancing the
+// weights so consecutive snapshots differ.
+func trainOn(t *testing.T, g *engine.Group, samples []metrics.Sample, n int) {
+	t.Helper()
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i % len(samples)
+	}
+	if err := g.Train(samples, ord, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotVersionConformance pins the versioned-weights contract on
+// both backends: classifying on version N is bit-identical to the
+// synchronous Predict/Evaluate at the moment version N was cut, no
+// matter how far the master trains afterwards, and version numbers are
+// strictly monotonic.
+func TestSnapshotVersionConformance(t *testing.T) {
+	train := synthSamples(24, 20, 4, 3)
+	probes := synthSamples(40, 20, 4, 9)
+	for _, tc := range []struct {
+		name   string
+		runner engine.Runner
+	}{
+		{"fp", fpNet(t)},
+		{"chip", chipNet(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := engine.NewGroup(tc.runner, engine.NewPool(4))
+			defer g.Close()
+
+			const cuts = 3
+			versions := make([]*engine.WeightVersion, cuts)
+			want := make([][]int, cuts)
+			for c := 0; c < cuts; c++ {
+				trainOn(t, g, train, 8)
+				v, err := g.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Version() != uint64(c+1) {
+					t.Fatalf("cut %d: version %d, want %d", c, v.Version(), c+1)
+				}
+				// The synchronous reference at the cut point: the master's
+				// own predictions before any further training.
+				ref, err := g.Predict(probes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				versions[c], want[c] = v, ref
+			}
+			// The master has trained past every cut; each version must
+			// still answer exactly as the master did at its cut.
+			for c := cuts - 1; c >= 0; c-- {
+				got, err := versions[c].Predict(probes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if got[i] != want[c][i] {
+						t.Fatalf("version %d: probe %d predicted %d, want %d (snapshot not frozen)",
+							versions[c].Version(), i, got[i], want[c][i])
+					}
+				}
+				cm, err := versions[c].Evaluate(probes, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refCM := metrics.NewConfusion(4)
+				for i, s := range probes {
+					refCM.Observe(s.Y, want[c][i])
+				}
+				if cm.Accuracy() != refCM.Accuracy() {
+					t.Fatalf("version %d: Evaluate accuracy %v, want %v",
+						versions[c].Version(), cm.Accuracy(), refCM.Accuracy())
+				}
+			}
+			// Release recycles the replicas: the next snapshot reuses them,
+			// keeps the monotonic numbering, and still conforms, while the
+			// released handle refuses to serve stale weights.
+			versions[0].Release()
+			trainOn(t, g, train, 4)
+			v4, err := g.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v4.Version() != cuts+1 {
+				t.Fatalf("post-release version %d, want %d", v4.Version(), cuts+1)
+			}
+			ref, err := g.Predict(probes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := v4.Predict(probes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("recycled version %d: probe %d predicted %d, want %d", v4.Version(), i, got[i], ref[i])
+				}
+			}
+			if _, err := versions[0].Predict(probes); err != engine.ErrVersionReleased {
+				t.Fatalf("released version Predict err = %v, want ErrVersionReleased", err)
+			}
+		})
+	}
+}
+
+// blockingRunner is a fake whose Predict blocks until the test releases
+// it — the probe for the Close/AsyncEvaluate join contract. Clones share
+// the channels so the eval replica's background pass blocks too.
+type blockingRunner struct {
+	started chan struct{}
+	release chan struct{}
+	once    *sync.Once
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		once:    &sync.Once{},
+	}
+}
+
+func (b *blockingRunner) ProgramSample(x []float64, label int) {}
+func (b *blockingRunner) RunPhases(train bool)                 {}
+func (b *blockingRunner) ReadCounts() []int                    { return nil }
+func (b *blockingRunner) CaptureUpdate() engine.Update         { return nil }
+func (b *blockingRunner) ApplyUpdate(u engine.Update)          {}
+func (b *blockingRunner) Predict(x []float64) int {
+	b.once.Do(func() { close(b.started) })
+	<-b.release
+	return 0
+}
+func (b *blockingRunner) CloneRunner() (engine.Runner, error) {
+	return &blockingRunner{started: b.started, release: b.release, once: b.once}, nil
+}
+func (b *blockingRunner) SyncWeights(src engine.Runner) error { return nil }
+
+// TestGroupCloseJoinsAsyncEvaluate is the regression test for the
+// pre-PR-10 leak: Close (via core.Model.Close) only stopped the
+// pipeline, so an in-flight AsyncEvaluate goroutine kept reading the
+// samples slice and the eval replica after Close returned. Close must
+// block until the background pass finishes.
+func TestGroupCloseJoinsAsyncEvaluate(t *testing.T) {
+	r := newBlockingRunner()
+	g := engine.NewGroup(r, engine.NewPool(1))
+	samples := []metrics.Sample{{X: []float64{0}, Y: 0}, {X: []float64{1}, Y: 1}}
+	a, err := g.AsyncEvaluate(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started // background pass is live, blocked inside Predict
+
+	closed := make(chan struct{})
+	go func() {
+		g.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while the async evaluation goroutine was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(r.release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the background pass unblocked")
+	}
+	if !a.Ready() {
+		t.Fatal("background pass not finished after Close returned")
+	}
+	// Idempotent, and safe again on a group with nothing in flight.
+	g.Close()
+}
+
+// TestGroupCloseNoAsync pins that Close is a no-op on a group that
+// never went async — the common sweep-harness case.
+func TestGroupCloseNoAsync(t *testing.T) {
+	g := engine.NewGroup(newBlockingRunner(), engine.NewPool(1))
+	g.Close()
+	g.Close()
+}

@@ -1,0 +1,99 @@
+package serve
+
+import "time"
+
+// classifyReq is one handler's submission to the micro-batcher: one or
+// more feature vectors that must all be answered from a single weight
+// version. resp is buffered (capacity 1) so the dispatcher never
+// blocks replying.
+type classifyReq struct {
+	xs   [][]float64
+	resp chan classifyResp
+}
+
+// classifyResp carries the predictions for one request's vectors plus
+// the weight version that produced every one of them.
+type classifyResp struct {
+	preds   []int
+	version uint64
+	err     error
+}
+
+// batcher coalesces concurrent classify submissions into micro-batches.
+// The dispatcher takes the first waiting request, keeps collecting
+// until the coalescing window elapses or the batch is full, then
+// answers the whole batch with one pool-sharded Predict on the
+// tenant's current weight version. Because a prediction is a pure
+// function of (weights, input) and Group.Predict is bit-identical
+// across pool widths, coalescing amortises dispatch without changing
+// any individual answer — the conformance tests pin this.
+type batcher struct {
+	// reqs is unbuffered: a request the dispatcher has accepted is
+	// always answered, even during shutdown.
+	reqs     chan classifyReq
+	window   time.Duration
+	maxBatch int
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+func newBatcher(window time.Duration, maxBatch int) *batcher {
+	return &batcher{
+		reqs:     make(chan classifyReq),
+		window:   window,
+		maxBatch: maxBatch,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// run is the dispatcher loop, owned by one goroutine per tenant.
+func (b *batcher) run(t *tenant) {
+	defer close(b.done)
+	for {
+		var first classifyReq
+		select {
+		case <-b.quit:
+			return
+		case first = <-b.reqs:
+		}
+		batch := []classifyReq{first}
+		size := len(first.xs)
+		timer := time.NewTimer(b.window)
+	collect:
+		for size < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+				size += len(r.xs)
+			case <-timer.C:
+				break collect
+			case <-b.quit:
+				// Serve what was already accepted, then exit on the
+				// next loop iteration.
+				break collect
+			}
+		}
+		timer.Stop()
+		t.serveBatch(batch, size)
+	}
+}
+
+// submit hands a request to the dispatcher and waits for its batch's
+// answer; ok=false means the tenant is shutting down and the request
+// was never accepted.
+func (b *batcher) submit(req classifyReq) (classifyResp, bool) {
+	select {
+	case b.reqs <- req:
+		return <-req.resp, true
+	case <-b.done:
+		return classifyResp{}, false
+	}
+}
+
+// close stops the dispatcher and waits for it; every accepted request
+// has been answered when close returns.
+func (b *batcher) close() {
+	close(b.quit)
+	<-b.done
+}

@@ -22,6 +22,13 @@ type Watermarks struct {
 // cap at 32 in-flight samples.
 func DefaultWatermarks() Watermarks { return Watermarks{Low: 8, High: 32} }
 
+// Normalised returns the watermarks clamped to the valid hysteresis
+// band NewChannel will actually run with — exported so layers that key
+// behaviour off the effective band (e.g. the serving layer's admission
+// control and Retry-After estimate) see the same values the channel
+// does.
+func (w Watermarks) Normalised() Watermarks { return w.normalised() }
+
 // normalised clamps the watermarks to a valid hysteresis band.
 func (w Watermarks) normalised() Watermarks {
 	if w.High < 1 {
@@ -114,6 +121,11 @@ type Channel struct {
 	// (NewChannel) and no-ops when nil.
 	track     *trace.Track
 	stallHist *metrics.Histogram
+
+	// afterRecv is a test-only hook called between a successful receive
+	// and the consumer-side accounting in Next — the window the
+	// Next/Stop race regression test holds open. Nil in production.
+	afterRecv func()
 
 	done chan struct{}
 }
@@ -218,7 +230,22 @@ func (c *Channel) Next() (metrics.Sample, bool) {
 	if !ok {
 		return metrics.Sample{}, false
 	}
+	if c.afterRecv != nil {
+		c.afterRecv()
+	}
 	c.mu.Lock()
+	if c.stopped {
+		// Stop raced in between the receive above and this accounting:
+		// it has reset (or is about to reset) the in-flight count and the
+		// gate for the dead pass, so decrementing here would drive
+		// inflight below zero and corrupt Len and the refill gate on the
+		// next Reset cycle. The sample did reach the consumer, so
+		// conservation still counts it as consumed; everything else
+		// belongs to the pass Stop tore down.
+		c.stats.Consumed++
+		c.mu.Unlock()
+		return s, true
+	}
 	c.inflight--
 	c.consumedCycle++
 	c.stats.Consumed++
@@ -260,6 +287,26 @@ func (c *Channel) Reset() {
 	c.Stop()
 	c.src.Reset()
 	c.start()
+}
+
+// Gated reports whether the producer is currently stalled at the high
+// watermark — the hysteresis signal admission control keys off: once
+// true it stays true until the consumer drains the buffer back to the
+// low watermark, so a gated channel means "the pipeline is full and
+// will stay full for at least High-Low consumed samples". False on a
+// stopped channel.
+func (c *Channel) Gated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gated && !c.stopped
+}
+
+// Inflight returns the number of produced-but-unconsumed samples
+// currently buffered.
+func (c *Channel) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
 }
 
 // Len returns the samples remaining in this pass (buffered plus not yet
